@@ -1,0 +1,130 @@
+// Ablation bench for the one-deep divide-and-conquer archetype design
+// choices DESIGN.md calls out:
+//
+//   (a) splitter sampling rate — the paper computes split/merge parameters
+//       "using a small sample of the problem data"; this sweep shows the
+//       load-balance vs parameter-cost trade-off;
+//   (b) parameter-computation strategy — replicated computation (allgather)
+//       vs master + broadcast (the paper's two options, section 3.2);
+//   (c) one-deep vs traditional vs hybrid depth — why stopping at one level
+//       of split/merge wins.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "apps/sort/sort.hpp"
+#include "bench/bench_common.hpp"
+#include "perfmodel/machine.hpp"
+#include "perfmodel/models.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+using namespace ppa;
+
+/// Measure the merge-phase balance for a given sampling rate: ratio of the
+/// largest final block to the ideal block size (1.0 = perfect balance).
+double measure_imbalance(const std::vector<int>& data, int p,
+                         std::size_t samples_per_proc) {
+  auto locals = onedeep::block_distribute(data, static_cast<std::size_t>(p));
+  const auto results = mpl::spmd_collect<std::size_t>(p, [&](mpl::Process& proc) {
+    app::OneDeepMergesort<int> spec{samples_per_proc, {}};
+    const auto out = onedeep::run_process(
+        spec, proc, std::move(locals[static_cast<std::size_t>(proc.rank())]));
+    return out.size();
+  });
+  const std::size_t largest = *std::max_element(results.begin(), results.end());
+  const double ideal = static_cast<double>(data.size()) / p;
+  return static_cast<double>(largest) / ideal;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ppa;
+  bench::print_header("Ablation: one-deep divide and conquer",
+                      "sampling rate, parameter strategy, and split depth");
+
+  const std::size_t n = 1u << 19;
+  const auto data = random_ints(n, -1000000000, 1000000000, 777);
+  constexpr int kP = 8;
+
+  // --- (a) sampling-rate sweep ---------------------------------------------
+  std::printf("\n(a) Splitter sampling rate (one-deep mergesort, n=%zu, P=%d)\n",
+              n, kP);
+  std::printf("  %18s %18s\n", "samples/process", "max-block / ideal");
+  for (std::size_t s : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+    std::printf("  %18zu %18.3f\n", s, measure_imbalance(data, kP, s));
+  }
+  std::printf("  (diminishing returns: a small sample already balances well —\n"
+              "   the paper's 'parameters ... computed using a small sample')\n");
+
+  // --- (b) parameter strategy ------------------------------------------------
+  std::printf("\n(b) Parameter strategy (communication volume, P=%d)\n", kP);
+  for (const auto strategy : {onedeep::ParamStrategy::kReplicated,
+                              onedeep::ParamStrategy::kRootBroadcast}) {
+    auto locals = onedeep::block_distribute(data, kP);
+    mpl::TraceSnapshot trace;
+    mpl::spmd_collect<std::vector<int>>(
+        kP,
+        [&](mpl::Process& proc) {
+          app::OneDeepMergesort<int> spec;
+          return onedeep::run_process(
+              spec, proc, std::move(locals[static_cast<std::size_t>(proc.rank())]),
+              strategy);
+        },
+        &trace);
+    std::printf("  %-28s messages=%6llu  payload=%9llu bytes\n",
+                strategy == onedeep::ParamStrategy::kReplicated
+                    ? "replicated (allgather):"
+                    : "master + broadcast:",
+                static_cast<unsigned long long>(trace.messages),
+                static_cast<unsigned long long>(trace.bytes));
+  }
+
+  // --- (c) one-deep vs traditional wall clock --------------------------------
+  std::printf("\n(c) One-deep vs traditional (wall clock, n=%zu)\n", n);
+  std::printf("  %6s %16s %16s %10s\n", "P", "one-deep (s)", "traditional (s)",
+              "ratio");
+  for (int p : {2, 4}) {
+    const double t_od = time_best_of(3, [&] {
+      const auto out = app::onedeep_mergesort(data, p);
+      if (out.size() != data.size()) std::abort();
+    });
+    const double t_tr = time_best_of(3, [&] {
+      const auto out = app::traditional_mergesort(data, p);
+      if (out.size() != data.size()) std::abort();
+    });
+    std::printf("  %6d %16.4f %16.4f %9.2fx\n", p, t_od, t_tr, t_tr / t_od);
+  }
+  std::printf(
+      "  (On a 2-core shared-memory host the fork-join baseline is competitive:\n"
+      "   the one-deep advantage comes from *distributed-memory* data-movement\n"
+      "   costs. The per-level full-data traversals that sink the traditional\n"
+      "   algorithm on a multicomputer are cheap memcpys here — see the modeled\n"
+      "   Delta-scale comparison below and in fig06_mergesort.)\n");
+
+  // Distributed-memory comparison at paper scale (Intel Delta model).
+  const auto machine = perf::intel_delta();
+  const perf::SortWorkload w;
+  std::printf("\n  Modeled on %s (n=2^20):\n", machine.name.c_str());
+  std::printf("  %6s %16s %16s %10s\n", "P", "one-deep (s)", "traditional (s)",
+              "ratio");
+  bool model_wins = true;
+  for (int p : {8, 16, 32, 64}) {
+    const double t_od = perf::mergesort_onedeep_time(machine, w, p);
+    const double t_tr = perf::mergesort_traditional_time(machine, w, p);
+    std::printf("  %6d %16.4f %16.4f %9.2fx\n", p, t_od, t_tr, t_tr / t_od);
+    model_wins &= t_od < t_tr;
+  }
+
+  std::printf("\nShape verdicts:\n");
+  bool ok = true;
+  ok &= bench::verdict("64 samples/process balances within 25% of ideal",
+                       measure_imbalance(data, kP, 64) < 1.25);
+  ok &= bench::verdict(
+      "distributed-memory model: one-deep beats traditional at P in {8..64}",
+      model_wins);
+  return ok ? 0 : 1;
+}

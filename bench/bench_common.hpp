@@ -1,0 +1,88 @@
+// bench/bench_common.hpp
+//
+// Shared scaffolding for the per-figure benchmark binaries. Every figure
+// bench prints, in order:
+//   1. a header identifying the paper figure it regenerates,
+//   2. a table of *measured* wall-clock speedups from real SPMD runs at
+//      laptop scale (the mpl layer over threads; P is oversubscribed beyond
+//      the physical cores, so treat large-P measured values as indicative),
+//   3. a table + ASCII plot of *modeled* speedups at paper scale on the
+//      paper's machine preset (see perfmodel/ and DESIGN.md section 1 for
+//      the hardware-substitution rationale),
+//   4. a shape verdict: the qualitative claims of the figure, checked.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "perfmodel/models.hpp"
+#include "support/ascii_plot.hpp"
+#include "support/stats.hpp"
+
+namespace ppa::bench {
+
+/// Print the standard figure header.
+inline void print_header(const std::string& figure, const std::string& caption) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), caption.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Measure wall-clock speedups: `run(p)` performs the full workload on p
+/// SPMD processes; returns best-of-`reps` times and prints a table.
+/// The P=1 time is the baseline.
+inline std::vector<perf::SpeedupPoint> measure_speedups(
+    const std::vector<int>& procs, int reps, const std::function<void(int)>& run) {
+  std::printf("\nMeasured on this host (threads over %u hardware cores):\n",
+              std::thread::hardware_concurrency());
+  std::printf("  %6s %12s %10s %12s\n", "P", "time (s)", "speedup", "efficiency");
+  std::vector<perf::SpeedupPoint> points;
+  double t1 = 0.0;
+  for (int p : procs) {
+    const double t = time_best_of(reps, [&] { run(p); });
+    if (p == 1) t1 = t;
+    const double s = (t1 > 0.0) ? t1 / t : 1.0;
+    points.push_back({p, s});
+    std::printf("  %6d %12.4f %10.2f %11.0f%%\n", p, t, s,
+                100.0 * s / static_cast<double>(p));
+  }
+  return points;
+}
+
+/// Print a modeled speedup table.
+inline void print_model_table(const std::string& title,
+                              const std::vector<perf::SpeedupPoint>& curve) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("  %6s %10s %12s\n", "P", "speedup", "efficiency");
+  for (const auto& pt : curve) {
+    std::printf("  %6d %10.2f %11.0f%%\n", pt.procs, pt.speedup,
+                100.0 * pt.speedup / static_cast<double>(pt.procs));
+  }
+}
+
+/// Convert a model curve to a plot series.
+inline plot::Series to_series(const std::string& name, char glyph,
+                              const std::vector<perf::SpeedupPoint>& curve) {
+  plot::Series s{name, glyph, {}};
+  for (const auto& pt : curve) {
+    s.points.emplace_back(static_cast<double>(pt.procs), pt.speedup);
+  }
+  return s;
+}
+
+/// Print one verdict line: a named shape property of the figure, checked.
+inline bool verdict(const std::string& claim, bool holds) {
+  std::printf("  [%s] %s\n", holds ? "PASS" : "FAIL", claim.c_str());
+  return holds;
+}
+
+inline double at(const std::vector<perf::SpeedupPoint>& curve, int p) {
+  for (const auto& pt : curve) {
+    if (pt.procs == p) return pt.speedup;
+  }
+  return 0.0;
+}
+
+}  // namespace ppa::bench

@@ -1,0 +1,66 @@
+// Regenerates paper Figure 12: "Speedup of parallel 2-D FFT compared to
+// sequential 2-D FFT ... FFT repeated 10 times, on the IBM SP.
+// Disappointing performance is a result of too small a ratio of computation
+// to communication."
+#include <cstdio>
+#include <thread>
+
+#include "apps/fft2d/fft2d.hpp"
+#include "bench/bench_common.hpp"
+#include "mpl/spmd.hpp"
+#include "perfmodel/machine.hpp"
+#include "perfmodel/models.hpp"
+#include "support/rng.hpp"
+
+int main() {
+  using namespace ppa;
+  bench::print_header("Figure 12",
+                      "parallel 2-D FFT speedup (IBM SP, 512x512, 10 reps) — "
+                      "the paper's 'disappointing' communication-bound case");
+
+  // --- measured -------------------------------------------------------------
+  constexpr std::size_t kN = 256, kM = 256;
+  constexpr int kReps = 3;
+  Rng rng(7);
+  Array2D<algo::Complex> grid(kN, kM);
+  for (auto& v : grid.flat()) v = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+
+  std::printf("\n[2-D FFT, %zux%zu, %d reps]", kN, kM, kReps);
+  const auto measured = bench::measure_speedups({1, 2, 4}, 3, [&](int p) {
+    mpl::spmd_run(p, [&](mpl::Process& proc) {
+      mesh::RowDistributed<algo::Complex> data(kN, kM, proc.size(), proc.rank());
+      data.init_from_global(
+          [&grid](std::size_t r, std::size_t c) { return grid(r, c); });
+      for (int rep = 0; rep < kReps; ++rep) app::fft2d_process(proc, data);
+    });
+  });
+  (void)measured;
+
+  // --- modeled at paper scale -----------------------------------------------
+  const auto machine = perf::ibm_sp();
+  const perf::FftWorkload w;  // 512x512, 10 reps
+  std::vector<int> procs{1, 2, 4, 8, 12, 16, 20, 24, 28, 32};
+  const auto curve = perf::fig12_fft(machine, w, procs);
+  bench::print_model_table("Model: 2-D FFT on " + machine.name + ":", curve);
+
+  std::printf("\n%s\n",
+              plot::render_speedup("Fig 12 (modeled): 2-D FFT speedup on the IBM SP",
+                                   {bench::to_series("parallel 2-D FFT", 'o', curve)},
+                                   35.0, 35.0)
+                  .c_str());
+
+  std::printf("Shape vs paper:\n");
+  bool ok = true;
+  ok &= bench::verdict("speedup is 'disappointing': S(32) below 6",
+                       bench::at(curve, 32) < 6.0);
+  ok &= bench::verdict("but real: S(32) above 2", bench::at(curve, 32) > 2.0);
+  ok &= bench::verdict("efficiency at 32 below 15% (comm-bound)",
+                       bench::at(curve, 32) / 32.0 < 0.15);
+  ok &= bench::verdict("flattens: last doubling (16->32) gains < 25%",
+                       bench::at(curve, 32) / bench::at(curve, 16) < 1.25);
+  std::printf(
+      "\nNote: the paper adds this parallelization 'might nevertheless be\n"
+      "sensible as part of a larger computation or for problems exceeding\n"
+      "the memory requirements of a single processor.'\n");
+  return ok ? 0 : 1;
+}

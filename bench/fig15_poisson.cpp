@@ -1,0 +1,60 @@
+// Regenerates paper Figure 15: "Speedup of parallel Poisson solver compared
+// to sequential Poisson solver ... on the IBM SP" — the near-linear
+// mesh-archetype case.
+#include <cstdio>
+#include <thread>
+
+#include "apps/poisson/poisson.hpp"
+#include "bench/bench_common.hpp"
+#include "perfmodel/machine.hpp"
+#include "perfmodel/models.hpp"
+
+int main() {
+  using namespace ppa;
+  bench::print_header("Figure 15",
+                      "parallel Poisson solver speedup (IBM SP, 512x512 grid, "
+                      "100 Jacobi steps)");
+
+  // --- measured (fixed work: tolerance 0, capped iterations) ---------------
+  app::PoissonProblem prob;
+  prob.nx = prob.ny = 1025;
+  prob.tolerance = 0.0;
+  prob.max_iters = 40;
+  prob.g = [](double x, double y) { return x * x - y * y; };
+
+  std::printf("\n[Jacobi Poisson, %zux%zu, %zu steps]", prob.nx, prob.ny,
+              prob.max_iters);
+  const auto measured = bench::measure_speedups({1, 2, 4}, 2, [&](int p) {
+    const auto r = app::poisson_spmd(prob, p);
+    if (r.iterations != prob.max_iters) std::abort();
+  });
+
+  // --- modeled at paper scale -----------------------------------------------
+  const auto machine = perf::ibm_sp();
+  const perf::PoissonWorkload w;  // 512x512, 100 steps
+  std::vector<int> procs{1, 2, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40};
+  const auto curve = perf::fig15_poisson(machine, w, procs);
+  bench::print_model_table("Model: Poisson on " + machine.name + ":", curve);
+
+  std::printf("\n%s\n",
+              plot::render_speedup(
+                  "Fig 15 (modeled): Poisson solver speedup on the IBM SP",
+                  {bench::to_series("parallel Poisson", 'o', curve)}, 40.0, 40.0)
+                  .c_str());
+
+  std::printf("Shape vs paper:\n");
+  bool ok = true;
+  ok &= bench::verdict("near-linear: S(40) > 30 (paper: ~35)",
+                       bench::at(curve, 40) > 30.0);
+  ok &= bench::verdict("efficiency at 40 above 75%",
+                       bench::at(curve, 40) / 40.0 > 0.75);
+  ok &= bench::verdict("monotone over the measured sizes", [&] {
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+      if (curve[i].speedup <= curve[i - 1].speedup) return false;
+    }
+    return true;
+  }());
+  ok &= bench::verdict("measured: parallel beats sequential at P=2 on this host",
+                       bench::at(measured, 2) > 1.0);
+  return ok ? 0 : 1;
+}

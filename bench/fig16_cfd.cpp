@@ -1,0 +1,59 @@
+// Regenerates paper Figure 16: "Speedup of 2-D CFD code compared to
+// single-processor execution ... on the Intel Delta" — the compute-rich
+// mesh-archetype case that scales nearly perfectly to 100 processors.
+#include <cstdio>
+#include <thread>
+
+#include "apps/cfd/euler2d.hpp"
+#include "bench/bench_common.hpp"
+#include "perfmodel/machine.hpp"
+#include "perfmodel/models.hpp"
+
+int main() {
+  using namespace ppa;
+  bench::print_header("Figure 16",
+                      "2-D compressible-flow code speedup (Intel Delta, "
+                      "~1024x512 grid)");
+
+  // --- measured -------------------------------------------------------------
+  app::CfdConfig cfg;
+  cfg.nx = 384;
+  cfg.ny = 192;
+  constexpr int kSteps = 20;
+  std::printf("\n[Euler solver, %zux%zu, %d steps]", cfg.nx, cfg.ny, kSteps);
+  const auto measured = bench::measure_speedups({1, 2, 4}, 2, [&](int p) {
+    const auto pgrid = mpl::CartGrid2D::near_square(p);
+    mpl::spmd_run(p, [&](mpl::Process& proc) {
+      app::CfdSim sim(proc, pgrid, cfg);
+      sim.init_shock_interface();
+      sim.run(kSteps);
+    });
+  });
+
+  // --- modeled at paper scale -----------------------------------------------
+  const auto machine = perf::intel_delta();
+  const perf::CfdWorkload w;  // 1024x512
+  std::vector<int> procs{1, 2, 4, 8, 16, 25, 36, 50, 64, 81, 100};
+  const auto curve = perf::fig16_cfd(machine, w, procs);
+  bench::print_model_table("Model: CFD on " + machine.name + ":", curve);
+
+  std::printf("\n%s\n",
+              plot::render_speedup(
+                  "Fig 16 (modeled): 2-D CFD speedup on the Intel Delta",
+                  {bench::to_series("CFD code", 'o', curve)}, 100.0, 100.0)
+                  .c_str());
+
+  std::printf("Shape vs paper:\n");
+  bool ok = true;
+  ok &= bench::verdict("near-perfect at scale: S(100) > 70",
+                       bench::at(curve, 100) > 70.0);
+  ok &= bench::verdict("efficiency stays above 70% out to 100 procs", [&] {
+    for (const auto& pt : curve) {
+      if (pt.speedup / pt.procs < 0.70) return false;
+    }
+    return true;
+  }());
+  ok &= bench::verdict("measured: parallel beats sequential at P=2 on this host",
+                       bench::at(measured, 2) > 1.0);
+  return ok ? 0 : 1;
+}

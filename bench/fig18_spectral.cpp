@@ -1,0 +1,73 @@
+// Regenerates paper Figure 18: "Speedup of spectral code compared to
+// 5-processor execution ... on the IBM SP. Because single-processor
+// execution was not feasible due to memory requirements, a minimum of 5
+// processors was used ... Inefficiencies in executing the code on the base
+// number of processors (e.g. paging) probably explain the better-than-ideal
+// speedup for small numbers of processors."
+#include <cstdio>
+#include <thread>
+
+#include "apps/spectral/swirl.hpp"
+#include "bench/bench_common.hpp"
+#include "perfmodel/machine.hpp"
+#include "perfmodel/models.hpp"
+
+int main() {
+  using namespace ppa;
+  bench::print_header("Figure 18",
+                      "axisymmetric spectral flow code, speedup relative to a "
+                      "5-processor base (IBM SP)");
+
+  // --- measured (relative to P=1 at laptop scale) ---------------------------
+  app::SwirlConfig cfg;
+  cfg.nr = 65;
+  cfg.nz = 64;
+  constexpr int kSteps = 10;
+  std::printf("\n[spectral swirl, %zux%zu, %d steps]", cfg.nr, cfg.nz, kSteps);
+  const auto measured = bench::measure_speedups({1, 2, 4}, 2, [&](int p) {
+    mpl::spmd_run(p, [&](mpl::Process& proc) {
+      app::SwirlSim sim(proc, cfg);
+      sim.init_jet();
+      sim.run(kSteps);
+    });
+  });
+  (void)measured;
+
+  // --- modeled at paper scale (relative to 5 processors, as the paper) ------
+  const auto machine = perf::ibm_sp();
+  const perf::SpectralWorkload w;
+  std::vector<int> procs;
+  for (int x = 1; x <= 8; ++x) procs.push_back(5 * x);
+  const auto curve = perf::fig18_spectral(machine, w, procs);
+  bench::print_model_table(
+      "Model: spectral code on " + machine.name + " (relative to P=5):", curve);
+
+  // The paper plots speedup/5 against processors/5; render the same axes.
+  plot::Series rel{"spectral code", 'o', {}};
+  for (const auto& pt : curve) {
+    rel.points.emplace_back(pt.procs / 5.0, pt.speedup / 5.0);
+  }
+  std::printf("\n%s\n",
+              plot::render_speedup(
+                  "Fig 18 (modeled): spectral code, axes = processors/5 vs "
+                  "speedup/5",
+                  {rel}, 8.0, 8.0)
+                  .c_str());
+
+  std::printf("Shape vs paper:\n");
+  bool ok = true;
+  ok &= bench::verdict("base point sits at (1, 1) on the /5 axes",
+                       std::abs(bench::at(curve, 5) - 5.0) < 1e-9);
+  ok &= bench::verdict(
+      "better-than-ideal at small P (paging at the 5-proc base): S(10) > 10",
+      bench::at(curve, 10) > 10.0);
+  ok &= bench::verdict("the relative advantage fades with P",
+                       bench::at(curve, 40) / 40.0 < bench::at(curve, 10) / 10.0);
+  ok &= bench::verdict("monotone increasing overall", [&] {
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+      if (curve[i].speedup <= curve[i - 1].speedup) return false;
+    }
+    return true;
+  }());
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,105 @@
+// Micro-benchmarks of the mpl communication library: the cost of each
+// collective the archetypes rely on, as a function of world size and
+// message size. These are the measured counterparts of the alpha/beta cost
+// formulas in perfmodel/machine.cpp.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "mpl/process.hpp"
+#include "mpl/spmd.hpp"
+
+namespace {
+
+using namespace ppa::mpl;
+
+void BM_PingPong(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  const std::vector<char> payload(bytes, 'x');
+  for (auto _ : state) {
+    spmd_run(2, [&](Process& p) {
+      for (int i = 0; i < 8; ++i) {
+        if (p.rank() == 0) {
+          p.send(1, 0, payload);
+          benchmark::DoNotOptimize(p.recv<char>(1, 1));
+        } else {
+          benchmark::DoNotOptimize(p.recv<char>(0, 0));
+          p.send(0, 1, payload);
+        }
+      }
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16 *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_PingPong)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_Barrier(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    spmd_run(p, [&](Process& proc) {
+      for (int i = 0; i < 16; ++i) proc.barrier();
+    });
+  }
+}
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_Broadcast(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    spmd_run(p, [&](Process& proc) {
+      std::vector<double> data(proc.rank() == 0 ? n : 0, 1.0);
+      for (int i = 0; i < 4; ++i) proc.broadcast(data, 0);
+    });
+  }
+}
+BENCHMARK(BM_Broadcast)->Args({4, 1024})->Args({8, 1024})->Args({8, 65536});
+
+void BM_Allreduce(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    spmd_run(p, [&](Process& proc) {
+      double acc = proc.rank();
+      for (int i = 0; i < 16; ++i) {
+        acc = proc.allreduce(acc, SumOp{});
+      }
+      benchmark::DoNotOptimize(acc);
+    });
+  }
+}
+BENCHMARK(BM_Allreduce)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_Alltoall(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const auto per_pair = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    spmd_run(p, [&](Process& proc) {
+      for (int i = 0; i < 4; ++i) {
+        std::vector<std::vector<double>> parts(
+            static_cast<std::size_t>(p), std::vector<double>(per_pair, 1.0));
+        benchmark::DoNotOptimize(proc.alltoall(std::move(parts)));
+      }
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 4 * p *
+                          (p - 1) * static_cast<std::int64_t>(per_pair) * 8);
+}
+BENCHMARK(BM_Alltoall)->Args({4, 256})->Args({8, 256})->Args({8, 4096});
+
+void BM_Allgather(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    spmd_run(p, [&](Process& proc) {
+      const std::vector<int> mine(128, proc.rank());
+      for (int i = 0; i < 4; ++i) {
+        benchmark::DoNotOptimize(proc.allgather(std::span<const int>(mine)));
+      }
+    });
+  }
+}
+BENCHMARK(BM_Allgather)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+// Micro-benchmarks of the sequential substrate algorithms: per-element
+// costs that calibrate the performance model's elem_op-derived constants
+// (sorting, k-way merge, FFT butterflies, stencil sweeps, skyline merge).
+#include <benchmark/benchmark.h>
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "algorithms/fft.hpp"
+#include "algorithms/skyline.hpp"
+#include "algorithms/sorting.hpp"
+#include "support/ndarray.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace ppa;
+
+void BM_MergeSort(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto data = random_ints(n, -1000000, 1000000, 17);
+  for (auto _ : state) {
+    auto xs = data;
+    algo::merge_sort(xs);
+    benchmark::DoNotOptimize(xs.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MergeSort)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_QuickSort(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto data = random_ints(n, -1000000, 1000000, 19);
+  for (auto _ : state) {
+    auto xs = data;
+    algo::quick_sort(std::span<int>(xs));
+    benchmark::DoNotOptimize(xs.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_QuickSort)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_KwayMerge(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  std::vector<std::vector<int>> runs(static_cast<std::size_t>(k));
+  for (int r = 0; r < k; ++r) {
+    runs[static_cast<std::size_t>(r)] =
+        random_ints(1 << 12, -1000000, 1000000, 23 + static_cast<std::uint64_t>(r));
+    std::sort(runs[static_cast<std::size_t>(r)].begin(),
+              runs[static_cast<std::size_t>(r)].end());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::kway_merge(runs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * k *
+                          (1 << 12));
+}
+BENCHMARK(BM_KwayMerge)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_Fft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<algo::Complex> signal(n);
+  Rng rng(29);
+  for (auto& v : signal) v = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  for (auto _ : state) {
+    auto xs = signal;
+    algo::fft(std::span<algo::Complex>(xs));
+    benchmark::DoNotOptimize(xs.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fft)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_JacobiSweep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Array2D<double> u(n, n, 1.0), v(n, n, 0.0);
+  for (auto _ : state) {
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      for (std::size_t j = 1; j + 1 < n; ++j) {
+        v(i, j) = 0.25 * (u(i - 1, j) + u(i + 1, j) + u(i, j - 1) + u(i, j + 1));
+      }
+    }
+    benchmark::DoNotOptimize(v.data());
+    std::swap(u, v);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>((n - 2) * (n - 2)));
+}
+BENCHMARK(BM_JacobiSweep)->Arg(128)->Arg(512);
+
+void BM_SkylineMerge(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(31);
+  std::vector<algo::Building> bs;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double l = rng.uniform(0.0, 1000.0);
+    bs.push_back({l, l + rng.uniform(0.5, 30.0), rng.uniform(1.0, 50.0)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        algo::skyline_divide_and_conquer(std::span<const algo::Building>(bs)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SkylineMerge)->Arg(256)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

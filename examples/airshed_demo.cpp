@@ -1,0 +1,52 @@
+// examples/airshed_demo.cpp
+//
+// The airshed smog model (paper section 7.4): a morning-to-afternoon run
+// over a basin with two emitting cities and a steady south-westerly wind,
+// on 4 SPMD processes. Prints the diurnal ozone record and writes the final
+// species maps.
+#include <cstdio>
+
+#include "apps/airshed/airshed.hpp"
+#include "support/image.hpp"
+#include "mpl/spmd.hpp"
+
+int main() {
+  using namespace ppa;
+  app::AirshedConfig cfg;
+  cfg.nx = 96;
+  cfg.ny = 64;
+
+  const int steps_per_hour = static_cast<int>(1.0 / cfg.dt);
+  const auto pgrid = mpl::CartGrid2D::near_square(4);
+  mpl::spmd_run(4, [&](mpl::Process& p) {
+    app::AirshedSim sim(p, pgrid, cfg);
+    if (p.rank() == 0) {
+      std::printf("airshed %zux%zu cells (%g x %g km), 2 cities, wind (%g, %g) "
+                  "km/h\n\n", cfg.nx, cfg.ny, cfg.lx, cfg.ly, cfg.wind_u,
+                  cfg.wind_v);
+      std::printf("  %6s %10s %12s %12s\n", "hour", "max O3", "total NOx",
+                  "photolysis");
+    }
+    for (int hour = 0; hour < 8; ++hour) {
+      sim.run(steps_per_hour);
+      const double o3 = sim.max_o3();
+      const double nox = sim.total_nitrogen();
+      if (p.rank() == 0) {
+        std::printf("  %5.1fh %10.4f %12.4f %12.2f\n", sim.hour(), o3, nox,
+                    sim.photolysis_rate(sim.hour()));
+      }
+    }
+    // First index is west-east; transpose so the map reads geographically.
+    auto o3map = transpose(sim.gather_species(2, 0));
+    auto nomap = transpose(sim.gather_species(0, 0));
+    if (p.rank() == 0) {
+      std::printf("\nozone field at %.1fh (plume displaced downwind of the "
+                  "cities):\n%s\n", sim.hour(),
+                  img::ascii_field(o3map, 80).c_str());
+      img::write_ppm("airshed_o3.ppm", o3map);
+      img::write_ppm("airshed_no.ppm", nomap);
+      std::printf("wrote airshed_o3.ppm, airshed_no.ppm\n");
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,44 @@
+// examples/em_scattering.cpp
+//
+// The 3-D FDTD electromagnetics code (paper section 7.2): a sinusoidal
+// point source radiating past a dielectric sphere inside a PEC cavity, on
+// 8 SPMD processes (a 2x2x2 process grid). Writes the Ez midplane.
+#include <cstdio>
+
+#include "apps/em/fdtd3d.hpp"
+#include "support/image.hpp"
+#include "mpl/spmd.hpp"
+
+int main() {
+  using namespace ppa;
+  app::EmConfig cfg;
+  cfg.n = 48;
+  cfg.sphere_radius = 9.0;
+  cfg.eps_sphere = 4.0;
+  cfg.src_i = 10;
+  cfg.src_j = 24;
+  cfg.src_k = 24;
+  cfg.source_period = 18.0;
+
+  constexpr int kSteps = 120;
+  const auto pgrid = mpl::CartGrid3D::near_cubic(8);
+  mpl::spmd_run(8, [&](mpl::Process& p) {
+    app::FdtdSim sim(p, pgrid, cfg);
+    sim.run(kSteps);
+    const double energy = sim.field_energy();
+    const double divh = sim.max_abs_div_h();
+    auto plane = sim.gather_ez_plane(0);
+    if (p.rank() == 0) {
+      std::printf("FDTD %zu^3, %d steps on 8 processes (2x2x2 grid)\n", cfg.n,
+                  kSteps);
+      std::printf("field energy = %.4f, max |div H| = %.2e (Yee invariant)\n\n",
+                  energy, divh);
+      std::printf("Ez on the z-midplane (source left of the dielectric "
+                  "sphere at center):\n%s\n",
+                  img::ascii_field(plane, 72).c_str());
+      img::write_ppm("em_ez_midplane.ppm", plane);
+      std::printf("wrote em_ez_midplane.ppm\n");
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,56 @@
+// examples/fft2d_demo.cpp
+//
+// The 2-D FFT on the mesh-spectral archetype (paper section 5): build a
+// two-tone image, transform it with version 1 (forall) and version 2 (SPMD
+// row/col distribution with redistribution), verify they agree bitwise, and
+// report the dominant spectral peaks.
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <numbers>
+
+#include "apps/fft2d/fft2d.hpp"
+
+int main() {
+  using namespace ppa;
+  constexpr std::size_t kN = 64, kM = 64;
+
+  // Signal: two plane waves, (3, 5) and (9, 1), plus a DC offset.
+  Array2D<algo::Complex> img(kN, kM);
+  for (std::size_t i = 0; i < kN; ++i) {
+    for (std::size_t j = 0; j < kM; ++j) {
+      const double x = 2.0 * std::numbers::pi * static_cast<double>(i) / kN;
+      const double y = 2.0 * std::numbers::pi * static_cast<double>(j) / kM;
+      img(i, j) = {0.5 + std::cos(3.0 * x + 5.0 * y) + 0.5 * std::cos(9.0 * x + y),
+                   0.0};
+    }
+  }
+
+  auto v1 = img;
+  app::fft2d_v1(v1, seq);
+  const auto v2 = app::fft2d_spmd(img, 4);
+
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    for (std::size_t j = 0; j < kM; ++j) {
+      max_diff = std::max(max_diff, std::abs(v1(i, j) - v2(i, j)));
+    }
+  }
+  std::printf("version 1 vs version 2 max |diff| = %.3e (bitwise: %s)\n",
+              max_diff, max_diff == 0.0 ? "yes" : "no");
+
+  // Report peaks above half the strongest bin.
+  double peak = 0.0;
+  for (const auto& v : v2.flat()) peak = std::max(peak, std::abs(v));
+  std::printf("spectral peaks (|bin| > peak/2):\n");
+  for (std::size_t i = 0; i < kN; ++i) {
+    for (std::size_t j = 0; j < kM; ++j) {
+      if (std::abs(v2(i, j)) > 0.5 * peak) {
+        std::printf("  bin (%2zu, %2zu): |F| = %8.1f\n", i, j, std::abs(v2(i, j)));
+      }
+    }
+  }
+  std::printf("(expect the planted tones at (3,5) and (9,1), their conjugate\n"
+              " mirrors at (61,59) and (55,63), and DC at (0,0))\n");
+  return max_diff == 0.0 ? 0 : 1;
+}

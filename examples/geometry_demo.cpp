@@ -1,0 +1,42 @@
+// examples/geometry_demo.cpp
+//
+// The other one-deep geometry applications the paper lists (section 3.6):
+// convex hull (gather+broadcast merge) and closest pair (nontrivial split +
+// boundary-candidate merge), both on 4 SPMD processes.
+#include <cstdio>
+
+#include "apps/geometry/onedeep_closest_pair.hpp"
+#include "apps/geometry/onedeep_hull.hpp"
+#include "support/rng.hpp"
+
+int main() {
+  using namespace ppa;
+  Rng rng(7);
+  std::vector<algo::Point2> pts;
+  for (int i = 0; i < 5000; ++i) {
+    // A noisy disc with a few extreme outliers.
+    const double angle = rng.uniform(0.0, 6.2831853);
+    const double radius = 10.0 * std::sqrt(rng.uniform());
+    pts.push_back({radius * std::cos(angle), radius * std::sin(angle)});
+  }
+  pts.push_back({25.0, 0.0});
+  pts.push_back({-25.0, 1.0});
+
+  const auto hull = app::onedeep_hull(pts, 4);
+  const auto hull_seq = algo::convex_hull(pts);
+  std::printf("convex hull of %zu points: %zu vertices (parallel == "
+              "sequential: %s)\n",
+              pts.size(), hull.size(), hull == hull_seq ? "yes" : "NO");
+  std::printf("hull vertices:");
+  for (const auto& v : hull) std::printf(" (%.2f, %.2f)", v.x, v.y);
+  std::printf("\n\n");
+
+  const double d_par = app::onedeep_closest_pair(pts, 4);
+  const double d_seq =
+      algo::closest_pair(std::span<const algo::Point2>(pts)).distance;
+  std::printf("closest pair distance: %.6f (parallel) vs %.6f (sequential)\n",
+              d_par, d_seq);
+  const bool ok = hull == hull_seq && d_par == d_seq;
+  std::printf("%s\n", ok ? "all results agree" : "MISMATCH");
+  return ok ? 0 : 1;
+}

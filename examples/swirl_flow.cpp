@@ -1,0 +1,42 @@
+// examples/swirl_flow.cpp
+//
+// Regenerates the paper's Fig 21: "Output of spectral code. Azimuthal
+// velocity in a swirling flow." Runs the axisymmetric spectral code (Fourier
+// in z, 4th-order finite differences in r) on 4 SPMD processes and writes
+// the u_theta(r, z) field.
+#include <cstdio>
+
+#include "apps/spectral/swirl.hpp"
+#include "support/image.hpp"
+#include "mpl/spmd.hpp"
+
+int main() {
+  using namespace ppa;
+  app::SwirlConfig cfg;
+  cfg.nr = 97;
+  cfg.nz = 128;
+  cfg.nu = 1.5e-3;
+  cfg.dt = 2e-4;
+  cfg.perturb_eps = 0.4;
+  cfg.perturb_mode = 3;
+
+  constexpr int kSteps = 600;
+  mpl::spmd_run(4, [&](mpl::Process& p) {
+    app::SwirlSim sim(p, cfg);
+    sim.init_jet();
+    const double e0 = sim.kinetic_energy();
+    sim.run(kSteps);
+    const double e1 = sim.kinetic_energy();
+    auto field = sim.gather_field(0);
+    if (p.rank() == 0) {
+      std::printf("swirling annulus %zu x %zu, %d steps\n", cfg.nr, cfg.nz, kSteps);
+      std::printf("kinetic energy: %.5f -> %.5f (viscous decay + advective "
+                  "steepening)\n\n", e0, e1);
+      std::printf("Fig 21 — azimuthal velocity u(r, z) (r down, z across):\n%s\n",
+                  img::ascii_field(field, 96).c_str());
+      img::write_ppm("fig21_azimuthal_velocity.ppm", field);
+      std::printf("wrote fig21_azimuthal_velocity.ppm\n");
+    }
+  });
+  return 0;
+}

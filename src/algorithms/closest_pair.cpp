@@ -1,0 +1,89 @@
+#include "algorithms/closest_pair.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace ppa::algo {
+
+double dist(const Point2& p, const Point2& q) {
+  return std::hypot(p.x - q.x, p.y - q.y);
+}
+
+PairResult closest_pair_brute(std::span<const Point2> points) {
+  assert(points.size() >= 2);
+  PairResult best{points[0], points[1], dist(points[0], points[1])};
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      const double d = dist(points[i], points[j]);
+      if (d < best.distance) best = {points[i], points[j], d};
+    }
+  }
+  return best;
+}
+
+namespace {
+
+/// Recursive helper over points sorted by x; `by_y` is scratch space.
+PairResult solve(std::span<Point2> by_x) {
+  if (by_x.size() <= 3) return closest_pair_brute(by_x);
+  const std::size_t mid = by_x.size() / 2;
+  const double xmid = by_x[mid].x;
+  PairResult left = solve(by_x.subspan(0, mid));
+  const PairResult right = solve(by_x.subspan(mid));
+  PairResult best = left.distance <= right.distance ? left : right;
+
+  // Strip of width 2*best.distance around the dividing line, scanned in y.
+  std::vector<Point2> strip;
+  for (const auto& p : by_x) {
+    if (std::abs(p.x - xmid) < best.distance) strip.push_back(p);
+  }
+  std::sort(strip.begin(), strip.end(),
+            [](const Point2& a, const Point2& b) { return a.y < b.y; });
+  for (std::size_t i = 0; i < strip.size(); ++i) {
+    for (std::size_t j = i + 1;
+         j < strip.size() && strip[j].y - strip[i].y < best.distance; ++j) {
+      const double d = dist(strip[i], strip[j]);
+      if (d < best.distance) best = {strip[i], strip[j], d};
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+PairResult closest_pair(std::span<const Point2> points) {
+  assert(points.size() >= 2);
+  std::vector<Point2> by_x(points.begin(), points.end());
+  std::sort(by_x.begin(), by_x.end());
+  return solve(std::span<Point2>(by_x));
+}
+
+PairResult closest_cross_pair(std::span<const Point2> left,
+                              std::span<const Point2> right, double x0,
+                              double upper) {
+  PairResult best{};
+  best.distance = upper;
+  std::vector<Point2> strip;
+  for (const auto& p : left) {
+    if (x0 - p.x < upper) strip.push_back(p);
+  }
+  const std::size_t left_count = strip.size();
+  for (const auto& p : right) {
+    if (p.x - x0 < upper) strip.push_back(p);
+  }
+  if (left_count == 0 || left_count == strip.size()) return best;
+  std::sort(strip.begin(), strip.end(),
+            [](const Point2& a, const Point2& b) { return a.y < b.y; });
+  for (std::size_t i = 0; i < strip.size(); ++i) {
+    for (std::size_t j = i + 1;
+         j < strip.size() && strip[j].y - strip[i].y < best.distance; ++j) {
+      const double d = dist(strip[i], strip[j]);
+      if (d < best.distance) best = {strip[i], strip[j], d};
+    }
+  }
+  return best;
+}
+
+}  // namespace ppa::algo

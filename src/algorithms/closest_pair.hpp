@@ -1,0 +1,41 @@
+// ppa/algorithms/closest_pair.hpp
+//
+// Closest pair of points in the plane (the paper's "problem of finding the
+// two nearest neighbors in a set of points in a plane", listed among the
+// problems amenable to one-deep solutions). Classic O(n log n) divide and
+// conquer plus an O(n^2) brute-force reference for testing.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "algorithms/hull.hpp"  // Point2
+
+namespace ppa::algo {
+
+struct PairResult {
+  Point2 a;
+  Point2 b;
+  double distance = 0.0;
+};
+
+/// Euclidean distance.
+[[nodiscard]] double dist(const Point2& p, const Point2& q);
+
+/// O(n^2) reference; requires at least 2 points.
+[[nodiscard]] PairResult closest_pair_brute(std::span<const Point2> points);
+
+/// O(n log n) divide and conquer; requires at least 2 points.
+[[nodiscard]] PairResult closest_pair(std::span<const Point2> points);
+
+/// Closest pair where one point is drawn from `left` and the other from
+/// `right`, given that every point of `left` has x <= x0 and every point of
+/// `right` has x >= x0, and that no within-set pair is closer than `upper`.
+/// Used by the one-deep merge phase to resolve pairs straddling a splitter.
+/// Returns `upper` distance with unspecified points if no straddling pair
+/// beats it.
+[[nodiscard]] PairResult closest_cross_pair(std::span<const Point2> left,
+                                            std::span<const Point2> right, double x0,
+                                            double upper);
+
+}  // namespace ppa::algo

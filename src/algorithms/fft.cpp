@@ -1,0 +1,79 @@
+#include "algorithms/fft.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace ppa::algo {
+
+void fft(std::span<Complex> xs, bool inverse) {
+  const std::size_t n = xs.size();
+  assert(is_power_of_two(n) && "fft requires a power-of-two length");
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(xs[i], xs[j]);
+  }
+
+  // Butterflies.
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = xs[i + k];
+        const Complex v = xs[i + k + len / 2] * w;
+        xs[i + k] = u + v;
+        xs[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& x : xs) x *= inv_n;
+  }
+}
+
+std::vector<Complex> dft_reference(std::span<const Complex> xs) {
+  const std::size_t n = xs.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc(0.0, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * std::numbers::pi * static_cast<double>(k) *
+                           static_cast<double>(t) / static_cast<double>(n);
+      acc += xs[t] * Complex(std::cos(angle), std::sin(angle));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+void fft_rows(Array2D<Complex>& a, bool inverse) {
+  for (std::size_t i = 0; i < a.rows(); ++i) fft(a.row(i), inverse);
+}
+
+void fft_cols(Array2D<Complex>& a, bool inverse) {
+  std::vector<Complex> col(a.rows());
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    for (std::size_t i = 0; i < a.rows(); ++i) col[i] = a(i, j);
+    fft(std::span<Complex>(col), inverse);
+    for (std::size_t i = 0; i < a.rows(); ++i) a(i, j) = col[i];
+  }
+}
+
+void fft_2d(Array2D<Complex>& a, bool inverse) {
+  fft_rows(a, inverse);
+  fft_cols(a, inverse);
+}
+
+}  // namespace ppa::algo

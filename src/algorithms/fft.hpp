@@ -1,0 +1,45 @@
+// ppa/algorithms/fft.hpp
+//
+// One-dimensional FFT substrate for the two-dimensional FFT application
+// (paper section 5, citing Numerical Recipes): iterative radix-2
+// Cooley–Tukey over std::complex<double>, plus a naive O(n^2) DFT used as a
+// test oracle, and row/column helpers over dense arrays for the version-1
+// (sequentially executable) algorithm.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "support/ndarray.hpp"
+
+namespace ppa::algo {
+
+using Complex = std::complex<double>;
+
+[[nodiscard]] constexpr bool is_power_of_two(std::size_t n) {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// In-place iterative radix-2 FFT. `xs.size()` must be a power of two.
+/// `inverse` applies the conjugate transform *and* the 1/n normalization, so
+/// fft(fft(x), inverse) == x.
+void fft(std::span<Complex> xs, bool inverse = false);
+
+/// Naive O(n^2) DFT (forward, unnormalized) — test oracle; any size.
+[[nodiscard]] std::vector<Complex> dft_reference(std::span<const Complex> xs);
+
+/// Forward FFT applied to every row of `a` in place (a row operation in the
+/// mesh-spectral archetype's sense: rows are independent).
+void fft_rows(Array2D<Complex>& a, bool inverse = false);
+
+/// Forward FFT applied to every column of `a` in place (a column operation).
+void fft_cols(Array2D<Complex>& a, bool inverse = false);
+
+/// Full 2-D FFT: row FFTs then column FFTs (the paper's sequential
+/// algorithm: "performing a one-dimensional FFT on each row ... and then ...
+/// on each column of the resulting array").
+void fft_2d(Array2D<Complex>& a, bool inverse = false);
+
+}  // namespace ppa::algo

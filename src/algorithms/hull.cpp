@@ -1,0 +1,58 @@
+#include "algorithms/hull.hpp"
+
+#include <algorithm>
+
+namespace ppa::algo {
+
+double cross(const Point2& o, const Point2& a, const Point2& b) {
+  return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+}
+
+std::vector<Point2> convex_hull(std::vector<Point2> points) {
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  const std::size_t n = points.size();
+  if (n <= 2) return points;
+
+  std::vector<Point2> hull(2 * n);
+  std::size_t k = 0;
+  // Lower hull.
+  for (std::size_t i = 0; i < n; ++i) {
+    while (k >= 2 && cross(hull[k - 2], hull[k - 1], points[i]) <= 0.0) --k;
+    hull[k++] = points[i];
+  }
+  // Upper hull.
+  const std::size_t lower_size = k + 1;
+  for (std::size_t i = n - 1; i-- > 0;) {
+    while (k >= lower_size && cross(hull[k - 2], hull[k - 1], points[i]) <= 0.0) --k;
+    hull[k++] = points[i];
+  }
+  hull.resize(k - 1);  // last point equals the first
+  if (hull.size() < 3) hull.resize(std::min<std::size_t>(hull.size(), 2));
+  return hull;
+}
+
+bool point_in_hull(std::span<const Point2> hull, const Point2& q, double eps) {
+  if (hull.empty()) return false;
+  if (hull.size() == 1) {
+    return std::abs(q.x - hull[0].x) <= eps && std::abs(q.y - hull[0].y) <= eps;
+  }
+  if (hull.size() == 2) {
+    // On the segment?
+    const double c = cross(hull[0], hull[1], q);
+    if (std::abs(c) > eps) return false;
+    const double lo_x = std::min(hull[0].x, hull[1].x) - eps;
+    const double hi_x = std::max(hull[0].x, hull[1].x) + eps;
+    const double lo_y = std::min(hull[0].y, hull[1].y) - eps;
+    const double hi_y = std::max(hull[0].y, hull[1].y) + eps;
+    return q.x >= lo_x && q.x <= hi_x && q.y >= lo_y && q.y <= hi_y;
+  }
+  for (std::size_t i = 0; i < hull.size(); ++i) {
+    const Point2& a = hull[i];
+    const Point2& b = hull[(i + 1) % hull.size()];
+    if (cross(a, b, q) < -eps) return false;  // strictly right of a CCW edge
+  }
+  return true;
+}
+
+}  // namespace ppa::algo

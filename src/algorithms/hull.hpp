@@ -1,0 +1,34 @@
+// ppa/algorithms/hull.hpp
+//
+// Convex hull substrate (the paper lists the convex hull problem among those
+// "amenable to one-deep solutions", section 3.6). Andrew's monotone chain
+// gives the sequential hull; the one-deep application combines local hulls.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ppa::algo {
+
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+  friend bool operator==(const Point2&, const Point2&) = default;
+  friend auto operator<=>(const Point2&, const Point2&) = default;  // lexicographic
+};
+
+/// Twice the signed area of triangle (o, a, b); > 0 for a counter-clockwise
+/// turn.
+[[nodiscard]] double cross(const Point2& o, const Point2& a, const Point2& b);
+
+/// Convex hull via Andrew's monotone chain. Returns hull vertices in
+/// counter-clockwise order starting from the lexicographically smallest
+/// point; collinear boundary points are excluded. Handles n < 3 and
+/// degenerate (all-collinear) inputs.
+[[nodiscard]] std::vector<Point2> convex_hull(std::vector<Point2> points);
+
+/// Is q inside (or on the boundary of) the convex polygon `hull` (CCW)?
+[[nodiscard]] bool point_in_hull(std::span<const Point2> hull, const Point2& q,
+                                 double eps = 1e-9);
+
+}  // namespace ppa::algo

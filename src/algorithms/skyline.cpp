@@ -1,0 +1,112 @@
+#include "algorithms/skyline.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ppa::algo {
+
+namespace {
+
+/// Append a point, maintaining canonical form (drop repeated heights and
+/// overwrite same-x points with the latest height).
+void push_point(Skyline& s, double x, double h) {
+  if (!s.empty() && s.back().x == x) {
+    s.back().h = h;
+  } else {
+    s.push_back({x, h});
+  }
+  // Collapse a repeated height created by either branch above.
+  if (s.size() >= 2 && s[s.size() - 2].h == s.back().h) s.pop_back();
+}
+
+}  // namespace
+
+Skyline skyline_of(const Building& b) {
+  if (b.left >= b.right || b.height <= 0.0) return {};  // degenerate building
+  return {{b.left, b.height}, {b.right, 0.0}};
+}
+
+Skyline merge_skylines(const Skyline& a, const Skyline& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  Skyline out;
+  out.reserve(a.size() + b.size());
+  std::size_t i = 0, j = 0;
+  double ha = 0.0, hb = 0.0;
+  while (i < a.size() || j < b.size()) {
+    double x = 0.0;
+    if (j >= b.size() || (i < a.size() && a[i].x < b[j].x)) {
+      x = a[i].x;
+      ha = a[i].h;
+      ++i;
+    } else if (i >= a.size() || b[j].x < a[i].x) {
+      x = b[j].x;
+      hb = b[j].h;
+      ++j;
+    } else {  // equal x: consume both
+      x = a[i].x;
+      ha = a[i].h;
+      hb = b[j].h;
+      ++i;
+      ++j;
+    }
+    push_point(out, x, std::max(ha, hb));
+  }
+  return out;
+}
+
+Skyline skyline_divide_and_conquer(std::span<const Building> buildings) {
+  if (buildings.empty()) return {};
+  if (buildings.size() == 1) return skyline_of(buildings.front());
+  const std::size_t mid = buildings.size() / 2;
+  return merge_skylines(skyline_divide_and_conquer(buildings.subspan(0, mid)),
+                        skyline_divide_and_conquer(buildings.subspan(mid)));
+}
+
+double skyline_height_at(const Skyline& s, double x) {
+  double h = 0.0;
+  for (const auto& pt : s) {
+    if (pt.x > x) break;
+    h = pt.h;
+  }
+  return h;
+}
+
+bool skyline_is_canonical(const Skyline& s) {
+  if (s.empty()) return true;
+  if (s.back().h != 0.0) return false;
+  for (std::size_t k = 1; k < s.size(); ++k) {
+    if (s[k].x <= s[k - 1].x) return false;
+    if (s[k].h == s[k - 1].h) return false;
+  }
+  return true;
+}
+
+Skyline clip_skyline(const Skyline& s, double x0, double x1) {
+  assert(x0 < x1);
+  Skyline out;
+  const double entry_height = skyline_height_at(s, x0);
+  if (entry_height != 0.0) push_point(out, x0, entry_height);
+  for (const auto& pt : s) {
+    if (pt.x <= x0 || pt.x >= x1) continue;
+    push_point(out, pt.x, pt.h);
+  }
+  // Close the strip: the clipped skyline must end at height 0. If the
+  // original is still "up" at x1, terminate at x1.
+  if (!out.empty() && out.back().h != 0.0) push_point(out, x1, 0.0);
+  return out;
+}
+
+Skyline concat_skylines(const std::vector<Skyline>& strips) {
+  Skyline out;
+  for (const auto& s : strips) {
+    for (const auto& pt : s) {
+      // Strips are adjacent and already locally canonical; push_point
+      // repairs seams where one strip ends at the x the next begins.
+      push_point(out, pt.x, pt.h);
+    }
+  }
+  return out;
+}
+
+}  // namespace ppa::algo

@@ -1,0 +1,59 @@
+// ppa/algorithms/skyline.hpp
+//
+// The skyline problem (paper section 3.6.1, citing Moret & Shapiro): merge a
+// collection of rectangular buildings into a single skyline. A skyline is
+// represented canonically as a sequence of (x, height) change points: the
+// height is `h` from this x to the next point's x, and the final point has
+// height 0. Canonical form has strictly increasing x and no two consecutive
+// equal heights.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ppa::algo {
+
+/// Rectangular building: occupies [left, right] at the given height.
+struct Building {
+  double left = 0.0;
+  double right = 0.0;
+  double height = 0.0;
+  friend bool operator==(const Building&, const Building&) = default;
+};
+
+/// Skyline change point: from x onward the height is h (until the next
+/// point). The final point of a skyline always has h == 0.
+struct SkyPoint {
+  double x = 0.0;
+  double h = 0.0;
+  friend bool operator==(const SkyPoint&, const SkyPoint&) = default;
+};
+
+using Skyline = std::vector<SkyPoint>;
+
+/// Base case: the skyline of one building.
+[[nodiscard]] Skyline skyline_of(const Building& b);
+
+/// Merge two skylines into one (the sequential algorithm's merge operation,
+/// considering their overlap). Linear in the total number of points.
+[[nodiscard]] Skyline merge_skylines(const Skyline& a, const Skyline& b);
+
+/// Sequential divide-and-conquer skyline of a set of buildings.
+[[nodiscard]] Skyline skyline_divide_and_conquer(std::span<const Building> buildings);
+
+/// Height of skyline `s` at abscissa x (0 outside the skyline's extent).
+[[nodiscard]] double skyline_height_at(const Skyline& s, double x);
+
+/// Is `s` in canonical form (strictly increasing x, no repeated heights,
+/// terminal height 0)?
+[[nodiscard]] bool skyline_is_canonical(const Skyline& s);
+
+/// Clip a skyline to the vertical strip [x0, x1); used by the one-deep merge
+/// phase, which cuts all local skylines into regions between splitters.
+[[nodiscard]] Skyline clip_skyline(const Skyline& s, double x0, double x1);
+
+/// Concatenate skylines of adjacent, non-overlapping strips (in order).
+[[nodiscard]] Skyline concat_skylines(const std::vector<Skyline>& strips);
+
+}  // namespace ppa::algo

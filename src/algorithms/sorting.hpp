@@ -1,0 +1,198 @@
+// ppa/algorithms/sorting.hpp
+//
+// Sequential sorting substrate for the one-deep divide-and-conquer
+// applications: classic mergesort and quicksort (the paper's running
+// examples), two-way and k-way merges, and splitter selection by regular
+// sampling (the paper's "parameters for the split are computed using a small
+// sample of the problem data"; cf. Shi & Schaeffer, the paper's ref [35]).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "support/partition.hpp"
+
+namespace ppa::algo {
+
+/// Insertion sort — the base case for small subarrays.
+template <typename T, typename Compare = std::less<T>>
+void insertion_sort(std::span<T> xs, Compare cmp = {}) {
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    T key = std::move(xs[i]);
+    std::size_t j = i;
+    while (j > 0 && cmp(key, xs[j - 1])) {
+      xs[j] = std::move(xs[j - 1]);
+      --j;
+    }
+    xs[j] = std::move(key);
+  }
+}
+
+/// Stable two-way merge of sorted ranges a and b into `out` (appended).
+template <typename T, typename Compare = std::less<T>>
+void merge_two(std::span<const T> a, std::span<const T> b, std::vector<T>& out,
+               Compare cmp = {}) {
+  out.reserve(out.size() + a.size() + b.size());
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (cmp(b[j], a[i])) {
+      out.push_back(b[j++]);
+    } else {
+      out.push_back(a[i++]);
+    }
+  }
+  for (; i < a.size(); ++i) out.push_back(a[i]);
+  for (; j < b.size(); ++j) out.push_back(b[j]);
+}
+
+/// Classic top-down sequential mergesort (the paper's section 3.5.1
+/// sequential algorithm); stable.
+template <typename T, typename Compare = std::less<T>>
+void merge_sort(std::vector<T>& xs, Compare cmp = {}) {
+  constexpr std::size_t kBase = 24;
+  if (xs.size() <= kBase) {
+    insertion_sort(std::span<T>(xs), cmp);
+    return;
+  }
+  const std::size_t mid = xs.size() / 2;
+  std::vector<T> left(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid));
+  std::vector<T> right(xs.begin() + static_cast<std::ptrdiff_t>(mid), xs.end());
+  merge_sort(left, cmp);
+  merge_sort(right, cmp);
+  xs.clear();
+  merge_two(std::span<const T>(left), std::span<const T>(right), xs, cmp);
+}
+
+/// Sequential quicksort with median-of-three pivoting (the paper's section
+/// 3.6.2 sequential algorithm).
+template <typename T, typename Compare = std::less<T>>
+void quick_sort(std::span<T> xs, Compare cmp = {}) {
+  while (xs.size() > 24) {
+    // Median-of-three pivot selection.
+    const std::size_t n = xs.size();
+    std::size_t mid = n / 2;
+    if (cmp(xs[mid], xs[0])) std::swap(xs[0], xs[mid]);
+    if (cmp(xs[n - 1], xs[0])) std::swap(xs[0], xs[n - 1]);
+    if (cmp(xs[n - 1], xs[mid])) std::swap(xs[mid], xs[n - 1]);
+    const T pivot = xs[mid];
+    std::size_t i = 0, j = n - 1;
+    while (true) {
+      while (cmp(xs[i], pivot)) ++i;
+      while (cmp(pivot, xs[j])) --j;
+      if (i >= j) break;
+      std::swap(xs[i], xs[j]);
+      ++i;
+      --j;
+    }
+    // Recurse into the smaller side, loop on the larger (O(log n) stack).
+    const std::size_t split = j + 1;
+    if (split < n - split) {
+      quick_sort(xs.subspan(0, split), cmp);
+      xs = xs.subspan(split);
+    } else {
+      quick_sort(xs.subspan(split), cmp);
+      xs = xs.subspan(0, split);
+    }
+  }
+  insertion_sort(xs, cmp);
+}
+
+/// K-way merge of sorted runs (stable across run order) — the local merge of
+/// the one-deep mergesort's merge phase.
+template <typename T, typename Compare = std::less<T>>
+std::vector<T> kway_merge(const std::vector<std::vector<T>>& runs, Compare cmp = {}) {
+  struct Head {
+    std::size_t run;
+    std::size_t pos;
+  };
+  const auto head_greater = [&](const Head& a, const Head& b) {
+    const T& va = runs[a.run][a.pos];
+    const T& vb = runs[b.run][b.pos];
+    if (cmp(va, vb)) return false;
+    if (cmp(vb, va)) return true;
+    return a.run > b.run;  // tie-break by run index for stability
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(head_greater)> heap(
+      head_greater);
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    total += runs[r].size();
+    if (!runs[r].empty()) heap.push({r, 0});
+  }
+  std::vector<T> out;
+  out.reserve(total);
+  while (!heap.empty()) {
+    const Head h = heap.top();
+    heap.pop();
+    out.push_back(runs[h.run][h.pos]);
+    if (h.pos + 1 < runs[h.run].size()) heap.push({h.run, h.pos + 1});
+  }
+  return out;
+}
+
+/// Evenly sample `count` elements from a *sorted* local run (regular
+/// sampling). Returns fewer if the run is smaller than `count`.
+template <typename T>
+std::vector<T> regular_sample(std::span<const T> sorted_run, std::size_t count) {
+  std::vector<T> sample;
+  if (sorted_run.empty() || count == 0) return sample;
+  sample.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    // Positions at (k+1)/(count+1) through the run — interior quantiles.
+    const std::size_t idx = (k + 1) * sorted_run.size() / (count + 1);
+    sample.push_back(sorted_run[std::min(idx, sorted_run.size() - 1)]);
+  }
+  return sample;
+}
+
+/// Choose nparts-1 splitters from gathered samples: sort the samples and take
+/// every (samples/nparts)-th. Splitter q marks the lower bound of part q+1.
+template <typename T, typename Compare = std::less<T>>
+std::vector<T> choose_splitters(std::vector<T> samples, int nparts, Compare cmp = {}) {
+  std::sort(samples.begin(), samples.end(), cmp);
+  std::vector<T> splitters;
+  splitters.reserve(static_cast<std::size_t>(nparts > 0 ? nparts - 1 : 0));
+  for (int q = 1; q < nparts; ++q) {
+    if (samples.empty()) break;
+    const std::size_t idx = block_range(samples.size(),
+                                        static_cast<std::size_t>(nparts),
+                                        static_cast<std::size_t>(q))
+                                .lo;
+    splitters.push_back(samples[std::min(idx, samples.size() - 1)]);
+  }
+  return splitters;
+}
+
+/// Partition a *sorted* run into nparts sorted sublists by splitters:
+/// part q gets values v with  splitters[q-1] <= v < splitters[q]
+/// (paper: "elements with values at most s_i belong to the i-th list").
+template <typename T, typename Compare = std::less<T>>
+std::vector<std::vector<T>> split_by_splitters(std::vector<T> sorted_run,
+                                               const std::vector<T>& splitters,
+                                               int nparts, Compare cmp = {}) {
+  assert(static_cast<int>(splitters.size()) == nparts - 1 || sorted_run.empty() ||
+         splitters.empty());
+  std::vector<std::vector<T>> parts(static_cast<std::size_t>(nparts));
+  std::size_t begin = 0;
+  for (int q = 0; q < nparts; ++q) {
+    std::size_t end = sorted_run.size();
+    if (q < static_cast<int>(splitters.size())) {
+      const auto it = std::lower_bound(
+          sorted_run.begin() + static_cast<std::ptrdiff_t>(begin), sorted_run.end(),
+          splitters[static_cast<std::size_t>(q)], cmp);
+      end = static_cast<std::size_t>(it - sorted_run.begin());
+    }
+    parts[static_cast<std::size_t>(q)].assign(
+        sorted_run.begin() + static_cast<std::ptrdiff_t>(begin),
+        sorted_run.begin() + static_cast<std::ptrdiff_t>(end));
+    begin = end;
+  }
+  return parts;
+}
+
+}  // namespace ppa::algo

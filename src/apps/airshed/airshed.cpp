@@ -1,0 +1,227 @@
+#include "apps/airshed/airshed.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace ppa::app {
+
+namespace {
+
+Chem operator+(const Chem& a, const Chem& b) {
+  return {a.no + b.no, a.no2 + b.no2, a.o3 + b.o3, a.voc + b.voc};
+}
+Chem operator*(double s, const Chem& a) {
+  return {s * a.no, s * a.no2, s * a.o3, s * a.voc};
+}
+
+/// Chemistry right-hand side. j: NO2 photolysis; k: NO+O3 titration;
+/// kv_eff: daylight-scaled VOC pathway rate; voc_cons: VOC consumed per NO
+/// converted through the pathway. Total nitrogen (no + no2) is conserved by
+/// construction.
+Chem chem_rhs(const Chem& c, double j, double k, double kv_eff, double voc_cons) {
+  const double titration = k * c.no * c.o3;         // NO + O3 -> NO2
+  const double photolysis = j * c.no2;              // NO2 + hv -> NO + O3
+  const double voc_path = kv_eff * c.voc * c.no;    // NO + VOC -> NO2
+  return {photolysis - titration - voc_path,        // d NO
+          titration - photolysis + voc_path,        // d NO2
+          photolysis - titration,                   // d O3
+          -voc_cons * voc_path};                    // d VOC
+}
+
+}  // namespace
+
+AirshedSim::AirshedSim(mpl::Process& p, const mpl::CartGrid2D& pgrid,
+                       const AirshedConfig& cfg)
+    : p_(p),
+      pgrid_(pgrid),
+      cfg_(cfg),
+      dx_(cfg.lx / static_cast<double>(cfg.nx)),
+      dy_(cfg.ly / static_cast<double>(cfg.ny)),
+      c_(cfg.nx, cfg.ny, pgrid, p.rank(), 1),
+      cnew_(cfg.nx, cfg.ny, pgrid, p.rank(), 1),
+      emissions_(cfg.nx, cfg.ny, pgrid, p.rank(), 0) {
+  init_background();
+}
+
+void AirshedSim::init_background() {
+  c_.init_from_global([&](std::size_t, std::size_t) {
+    return Chem{0.001, 0.002, cfg_.background_o3, cfg_.background_voc};
+  });
+  // Two urban hotspots (Gaussian footprints) emitting NO and some NO2.
+  const double cx1 = 0.3 * cfg_.lx, cy1 = 0.5 * cfg_.ly;
+  const double cx2 = 0.6 * cfg_.lx, cy2 = 0.35 * cfg_.ly;
+  const double sigma = 0.06 * cfg_.lx;
+  emissions_.init_from_global([&](std::size_t gi, std::size_t gj) {
+    const double x = (static_cast<double>(gi) + 0.5) * dx_;
+    const double y = (static_cast<double>(gj) + 0.5) * dy_;
+    const double g1 = std::exp(-((x - cx1) * (x - cx1) + (y - cy1) * (y - cy1)) /
+                               (2.0 * sigma * sigma));
+    const double g2 = std::exp(-((x - cx2) * (x - cx2) + (y - cy2) * (y - cy2)) /
+                               (2.0 * sigma * sigma));
+    const double strength = g1 + 0.7 * g2;
+    return Chem{cfg_.emission_no * strength, cfg_.emission_no2 * strength, 0.0,
+                cfg_.emission_voc * strength};
+  });
+}
+
+void AirshedSim::set_field(const std::function<Chem(std::size_t, std::size_t)>& fn) {
+  c_.init_from_global(fn);
+}
+
+void AirshedSim::disable_emissions() { emissions_.fill(Chem{}); }
+
+double AirshedSim::photolysis_rate(double hour) const {
+  // Daylight half-sine between 6h and 18h, zero at night.
+  const double t = std::fmod(hour, 24.0);
+  if (t < 6.0 || t > 18.0) return 0.0;
+  return cfg_.rate_j_max * std::sin(std::numbers::pi * (t - 6.0) / 12.0);
+}
+
+void AirshedSim::transport_step() {
+  // Precondition: fresh shadow copies for the upwind/diffusion stencil.
+  mesh::exchange_boundaries_mixed(p_, pgrid_, c_,
+                                  mesh::Periodicity{cfg_.periodic, cfg_.periodic});
+  if (!cfg_.periodic) {
+    // Open boundaries: zero-gradient inflow/outflow ghosts.
+    const auto nx = static_cast<std::ptrdiff_t>(c_.nx());
+    const auto ny = static_cast<std::ptrdiff_t>(c_.ny());
+    if (c_.x_range().lo == 0) {
+      for (std::ptrdiff_t j = -1; j <= ny; ++j) c_(-1, j) = c_(0, j);
+    }
+    if (c_.x_range().hi == cfg_.nx) {
+      for (std::ptrdiff_t j = -1; j <= ny; ++j) c_(nx, j) = c_(nx - 1, j);
+    }
+    if (c_.y_range().lo == 0) {
+      for (std::ptrdiff_t i = -1; i <= nx; ++i) c_(i, -1) = c_(i, 0);
+    }
+    if (c_.y_range().hi == cfg_.ny) {
+      for (std::ptrdiff_t i = -1; i <= nx; ++i) c_(i, ny) = c_(i, ny - 1);
+    }
+  }
+
+  const double u = cfg_.wind_u;
+  const double v = cfg_.wind_v;
+  const double kdiff = cfg_.diffusion;
+  const double dt = cfg_.dt;
+
+  mesh::apply_stencil(
+      cnew_, c_,
+      [&](const mesh::Grid2D<Chem>& c, std::ptrdiff_t i, std::ptrdiff_t j) {
+        // First-order upwind advection fluxes + central diffusion, applied
+        // componentwise.
+        const auto upwind_x = [&](auto pick) {
+          const double cm = pick(c(i - 1, j)), c0 = pick(c(i, j)),
+                       cp = pick(c(i + 1, j));
+          return u > 0.0 ? u * (c0 - cm) / dx_ : u * (cp - c0) / dx_;
+        };
+        const auto upwind_y = [&](auto pick) {
+          const double cm = pick(c(i, j - 1)), c0 = pick(c(i, j)),
+                       cp = pick(c(i, j + 1));
+          return v > 0.0 ? v * (c0 - cm) / dy_ : v * (cp - c0) / dy_;
+        };
+        const auto laplacian = [&](auto pick) {
+          return (pick(c(i - 1, j)) - 2.0 * pick(c(i, j)) + pick(c(i + 1, j))) /
+                     (dx_ * dx_) +
+                 (pick(c(i, j - 1)) - 2.0 * pick(c(i, j)) + pick(c(i, j + 1))) /
+                     (dy_ * dy_);
+        };
+        const auto advance = [&](auto pick) {
+          return pick(c(i, j)) +
+                 dt * (-upwind_x(pick) - upwind_y(pick) + kdiff * laplacian(pick));
+        };
+        Chem out;
+        out.no = advance([](const Chem& q) { return q.no; });
+        out.no2 = advance([](const Chem& q) { return q.no2; });
+        out.o3 = advance([](const Chem& q) { return q.o3; });
+        out.voc = advance([](const Chem& q) { return q.voc; });
+        return out;
+      });
+  std::swap(c_, cnew_);
+}
+
+void AirshedSim::chemistry_step() {
+  // Pointwise grid operation: no communication. RK4 on the local ODE.
+  const double j = photolysis_rate(hour_);
+  const double k = cfg_.rate_k;
+  const double kv_eff = cfg_.rate_kv * (j / cfg_.rate_j_max);
+  const double vc = cfg_.voc_consumption;
+  const double dt = cfg_.dt;
+  mesh::for_interior(c_, [&](std::ptrdiff_t i, std::ptrdiff_t jj) {
+    const Chem& c0 = c_(i, jj);
+    const Chem k1 = chem_rhs(c0, j, k, kv_eff, vc);
+    const Chem k2 = chem_rhs(c0 + (0.5 * dt) * k1, j, k, kv_eff, vc);
+    const Chem k3 = chem_rhs(c0 + (0.5 * dt) * k2, j, k, kv_eff, vc);
+    const Chem k4 = chem_rhs(c0 + dt * k3, j, k, kv_eff, vc);
+    Chem next = c0 + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+    // Clip tiny negatives from the explicit integrator.
+    next.no = std::max(next.no, 0.0);
+    next.no2 = std::max(next.no2, 0.0);
+    next.o3 = std::max(next.o3, 0.0);
+    next.voc = std::max(next.voc, 0.0);
+    c_(i, jj) = next;
+  });
+}
+
+void AirshedSim::step() {
+  transport_step();
+  // Emissions (pointwise source injection).
+  mesh::for_interior(c_, [&](std::ptrdiff_t i, std::ptrdiff_t j) {
+    c_(i, j).no += cfg_.dt * emissions_(i, j).no;
+    c_(i, j).no2 += cfg_.dt * emissions_(i, j).no2;
+    c_(i, j).voc += cfg_.dt * emissions_(i, j).voc;
+  });
+  chemistry_step();
+  hour_ += cfg_.dt;
+}
+
+void AirshedSim::run(int steps) {
+  for (int s = 0; s < steps; ++s) step();
+}
+
+namespace {
+double pick_species(const Chem& q, int species) {
+  switch (species) {
+    case 0: return q.no;
+    case 1: return q.no2;
+    case 2: return q.o3;
+    default: return q.voc;
+  }
+}
+}  // namespace
+
+double AirshedSim::total(int species) {
+  const double local = mesh::local_reduce(c_, 0.0, [&](double acc, const Chem& q) {
+    return acc + pick_species(q, species);
+  });
+  return p_.allreduce(local, mpl::SumOp{}) * dx_ * dy_;
+}
+
+double AirshedSim::total_nitrogen() {
+  const double local = mesh::local_reduce(
+      c_, 0.0, [](double acc, const Chem& q) { return acc + q.no + q.no2; });
+  return p_.allreduce(local, mpl::SumOp{}) * dx_ * dy_;
+}
+
+double AirshedSim::max_o3() {
+  const double local = mesh::local_reduce(
+      c_, 0.0, [](double acc, const Chem& q) { return std::max(acc, q.o3); });
+  return p_.allreduce(local, mpl::MaxOp{});
+}
+
+double AirshedSim::min_concentration() {
+  const double local = mesh::local_reduce(c_, 1e300, [](double acc, const Chem& q) {
+    return std::min({acc, q.no, q.no2, q.o3, q.voc});
+  });
+  return p_.allreduce(local, mpl::MinOp{});
+}
+
+Array2D<double> AirshedSim::gather_species(int species, int root) {
+  mesh::Grid2D<double> field(cfg_.nx, cfg_.ny, pgrid_, p_.rank(), 0);
+  mesh::for_interior(field, [&](std::ptrdiff_t i, std::ptrdiff_t j) {
+    field(i, j) = pick_species(c_(i, j), species);
+  });
+  return mesh::gather_grid(p_, pgrid_, field, root);
+}
+
+}  // namespace ppa::app

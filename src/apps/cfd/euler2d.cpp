@@ -1,0 +1,266 @@
+#include "apps/cfd/euler2d.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace ppa::app {
+
+namespace {
+
+/// Pressure from conserved state.
+double pressure(const EulerState& s, double gamma) {
+  const double kinetic = 0.5 * (s.mx * s.mx + s.my * s.my) / s.rho;
+  return (gamma - 1.0) * (s.E - kinetic);
+}
+
+/// Sound speed.
+double sound_speed(const EulerState& s, double gamma) {
+  return std::sqrt(gamma * pressure(s, gamma) / s.rho);
+}
+
+/// Physical flux in x.
+EulerState flux_x(const EulerState& s, double gamma) {
+  const double u = s.mx / s.rho;
+  const double p = pressure(s, gamma);
+  return {s.mx, s.mx * u + p, s.my * u, (s.E + p) * u};
+}
+
+/// Physical flux in y.
+EulerState flux_y(const EulerState& s, double gamma) {
+  const double v = s.my / s.rho;
+  const double p = pressure(s, gamma);
+  return {s.my, s.mx * v, s.my * v + p, (s.E + p) * v};
+}
+
+EulerState axpy(const EulerState& a, const EulerState& b, double c) {
+  return {a.rho + c * b.rho, a.mx + c * b.mx, a.my + c * b.my, a.E + c * b.E};
+}
+
+/// Rusanov numerical flux through the face between `l` and `r` along x.
+EulerState rusanov_x(const EulerState& l, const EulerState& r, double gamma) {
+  const double sl = std::abs(l.mx / l.rho) + sound_speed(l, gamma);
+  const double sr = std::abs(r.mx / r.rho) + sound_speed(r, gamma);
+  const double smax = std::max(sl, sr);
+  const EulerState fl = flux_x(l, gamma);
+  const EulerState fr = flux_x(r, gamma);
+  return {0.5 * (fl.rho + fr.rho) - 0.5 * smax * (r.rho - l.rho),
+          0.5 * (fl.mx + fr.mx) - 0.5 * smax * (r.mx - l.mx),
+          0.5 * (fl.my + fr.my) - 0.5 * smax * (r.my - l.my),
+          0.5 * (fl.E + fr.E) - 0.5 * smax * (r.E - l.E)};
+}
+
+/// Rusanov numerical flux along y.
+EulerState rusanov_y(const EulerState& l, const EulerState& r, double gamma) {
+  const double sl = std::abs(l.my / l.rho) + sound_speed(l, gamma);
+  const double sr = std::abs(r.my / r.rho) + sound_speed(r, gamma);
+  const double smax = std::max(sl, sr);
+  const EulerState fl = flux_y(l, gamma);
+  const EulerState fr = flux_y(r, gamma);
+  return {0.5 * (fl.rho + fr.rho) - 0.5 * smax * (r.rho - l.rho),
+          0.5 * (fl.mx + fr.mx) - 0.5 * smax * (r.mx - l.mx),
+          0.5 * (fl.my + fr.my) - 0.5 * smax * (r.my - l.my),
+          0.5 * (fl.E + fr.E) - 0.5 * smax * (r.E - l.E)};
+}
+
+}  // namespace
+
+EulerState to_conserved(const EulerPrim& w, double gamma) {
+  const double kinetic = 0.5 * w.rho * (w.u * w.u + w.v * w.v);
+  return {w.rho, w.rho * w.u, w.rho * w.v, w.p / (gamma - 1.0) + kinetic};
+}
+
+EulerPrim to_primitive(const EulerState& s, double gamma) {
+  return {s.rho, s.mx / s.rho, s.my / s.rho, pressure(s, gamma)};
+}
+
+EulerPrim post_shock_state(double mach, double rho0, double p0, double gamma) {
+  const double m2 = mach * mach;
+  const double c0 = std::sqrt(gamma * p0 / rho0);
+  EulerPrim w;
+  w.p = p0 * (1.0 + 2.0 * gamma / (gamma + 1.0) * (m2 - 1.0));
+  w.rho = rho0 * ((gamma + 1.0) * m2) / ((gamma - 1.0) * m2 + 2.0);
+  w.u = 2.0 / (gamma + 1.0) * (mach - 1.0 / mach) * c0;
+  w.v = 0.0;
+  return w;
+}
+
+CfdSim::CfdSim(mpl::Process& p, const mpl::CartGrid2D& pgrid, const CfdConfig& cfg)
+    : p_(p),
+      pgrid_(pgrid),
+      cfg_(cfg),
+      dx_(cfg.lx / static_cast<double>(cfg.nx)),
+      dy_(cfg.ly / static_cast<double>(cfg.ny)),
+      u_(cfg.nx, cfg.ny, pgrid, p.rank(), 1),
+      unew_(cfg.nx, cfg.ny, pgrid, p.rank(), 1),
+      inflow_(to_conserved(post_shock_state(cfg.mach, cfg.rho_light, cfg.p0,
+                                            cfg.gamma),
+                           cfg.gamma)) {}
+
+void CfdSim::set_state(
+    const std::function<EulerState(std::size_t, std::size_t)>& fn) {
+  u_.init_from_global(fn);
+}
+
+void CfdSim::init_shock_interface() {
+  const CfdConfig& c = cfg_;
+  const EulerState post = inflow_;
+  u_.init_from_global([&](std::size_t gi, std::size_t gj) {
+    const double x = (static_cast<double>(gi) + 0.5) * dx_;
+    const double y = (static_cast<double>(gj) + 0.5) * dy_;
+    if (x < c.x_shock) return post;
+    const double interface_x =
+        c.x_interface + c.amplitude * std::sin(2.0 * std::numbers::pi *
+                                               c.interface_modes * y / c.ly);
+    const double rho = (x < interface_x) ? c.rho_light : c.rho_heavy;
+    return to_conserved({rho, 0.0, 0.0, c.p0}, c.gamma);
+  });
+}
+
+void CfdSim::apply_physical_bcs() {
+  if (cfg_.periodic_x) return;
+  const auto ny = static_cast<std::ptrdiff_t>(u_.ny());
+  // Inflow (fixed post-shock state) at the global x=0 face.
+  if (u_.x_range().lo == 0) {
+    for (std::ptrdiff_t j = -1; j <= ny; ++j) u_(-1, j) = inflow_;
+  }
+  // Outflow (zero gradient) at the global x=lx face.
+  if (u_.x_range().hi == cfg_.nx) {
+    const auto last = static_cast<std::ptrdiff_t>(u_.nx()) - 1;
+    for (std::ptrdiff_t j = -1; j <= ny; ++j) u_(last + 1, j) = u_(last, j);
+  }
+}
+
+double CfdSim::step() {
+  // 1. Refresh shadow copies; y is always periodic in this code.
+  mesh::exchange_boundaries_mixed(p_, pgrid_, u_,
+                                  mesh::Periodicity{cfg_.periodic_x, true});
+  apply_physical_bcs();
+
+  // 2. Reduction: global max wave speed -> dt (replicated global).
+  double local_smax = 1e-12;
+  mesh::for_interior(u_, [&](std::ptrdiff_t i, std::ptrdiff_t j) {
+    const EulerState& s = u_(i, j);
+    const double c = sound_speed(s, cfg_.gamma);
+    local_smax = std::max(local_smax, std::abs(s.mx / s.rho) + c);
+    local_smax = std::max(local_smax, std::abs(s.my / s.rho) + c);
+  });
+  const double smax = p_.allreduce(local_smax, mpl::MaxOp{});
+  const double dt = cfg_.cfl * std::min(dx_, dy_) / smax;
+
+  // 3. Grid operation: flux-differenced update (reads neighbors of u_,
+  // writes unew_ — disjoint input/output per the archetype's restriction).
+  const double cx = dt / dx_;
+  const double cy = dt / dy_;
+  mesh::apply_stencil(unew_, u_,
+                      [&](const mesh::Grid2D<EulerState>& u, std::ptrdiff_t i,
+                          std::ptrdiff_t j) {
+                        const EulerState fxm = rusanov_x(u(i - 1, j), u(i, j), cfg_.gamma);
+                        const EulerState fxp = rusanov_x(u(i, j), u(i + 1, j), cfg_.gamma);
+                        const EulerState fym = rusanov_y(u(i, j - 1), u(i, j), cfg_.gamma);
+                        const EulerState fyp = rusanov_y(u(i, j), u(i, j + 1), cfg_.gamma);
+                        EulerState s = u(i, j);
+                        s = axpy(s, fxp, -cx);
+                        s = axpy(s, fxm, +cx);
+                        s = axpy(s, fyp, -cy);
+                        s = axpy(s, fym, +cy);
+                        return s;
+                      });
+
+  // 4. Swap current and next states.
+  std::swap(u_, unew_);
+  return dt;
+}
+
+double CfdSim::run(int n) {
+  double t = 0.0;
+  for (int s = 0; s < n; ++s) t += step();
+  return t;
+}
+
+double CfdSim::total_mass() {
+  const double local = mesh::local_reduce(
+      u_, 0.0, [](double acc, const EulerState& s) { return acc + s.rho; });
+  return p_.allreduce(local, mpl::SumOp{}) * dx_ * dy_;
+}
+
+double CfdSim::total_energy() {
+  const double local = mesh::local_reduce(
+      u_, 0.0, [](double acc, const EulerState& s) { return acc + s.E; });
+  return p_.allreduce(local, mpl::SumOp{}) * dx_ * dy_;
+}
+
+double CfdSim::total_momentum_x() {
+  const double local = mesh::local_reduce(
+      u_, 0.0, [](double acc, const EulerState& s) { return acc + s.mx; });
+  return p_.allreduce(local, mpl::SumOp{}) * dx_ * dy_;
+}
+
+double CfdSim::max_wave_speed() {
+  double local = 0.0;
+  mesh::for_interior(u_, [&](std::ptrdiff_t i, std::ptrdiff_t j) {
+    const EulerState& s = u_(i, j);
+    const double c = sound_speed(s, cfg_.gamma);
+    local = std::max({local, std::abs(s.mx / s.rho) + c, std::abs(s.my / s.rho) + c});
+  });
+  return p_.allreduce(local, mpl::MaxOp{});
+}
+
+double CfdSim::min_density() {
+  const double local = mesh::local_reduce(
+      u_, 1e300, [](double acc, const EulerState& s) { return std::min(acc, s.rho); });
+  return p_.allreduce(local, mpl::MinOp{});
+}
+
+double CfdSim::min_pressure() {
+  double local = 1e300;
+  mesh::for_interior(u_, [&](std::ptrdiff_t i, std::ptrdiff_t j) {
+    local = std::min(local, pressure(u_(i, j), cfg_.gamma));
+  });
+  return p_.allreduce(local, mpl::MinOp{});
+}
+
+Array2D<double> CfdSim::gather_density(int root) {
+  mesh::Grid2D<double> rho(cfg_.nx, cfg_.ny, pgrid_, p_.rank(), 0);
+  mesh::for_interior(rho, [&](std::ptrdiff_t i, std::ptrdiff_t j) {
+    rho(i, j) = u_(i, j).rho;
+  });
+  return mesh::gather_grid(p_, pgrid_, rho, root);
+}
+
+Array2D<double> CfdSim::gather_vorticity(int root) {
+  mesh::Grid2D<double> uvel(cfg_.nx, cfg_.ny, pgrid_, p_.rank(), 0);
+  mesh::Grid2D<double> vvel(cfg_.nx, cfg_.ny, pgrid_, p_.rank(), 0);
+  mesh::for_interior(uvel, [&](std::ptrdiff_t i, std::ptrdiff_t j) {
+    uvel(i, j) = u_(i, j).mx / u_(i, j).rho;
+    vvel(i, j) = u_(i, j).my / u_(i, j).rho;
+  });
+  const auto ug = mesh::gather_grid(p_, pgrid_, uvel, root);
+  const auto vg = mesh::gather_grid(p_, pgrid_, vvel, root);
+  if (p_.rank() != root) return {};
+
+  Array2D<double> omega(cfg_.nx, cfg_.ny, 0.0);
+  for (std::size_t i = 1; i + 1 < cfg_.nx; ++i) {
+    for (std::size_t j = 1; j + 1 < cfg_.ny; ++j) {
+      const double dvdx = (vg(i + 1, j) - vg(i - 1, j)) / (2.0 * dx_);
+      const double dudy = (ug(i, j + 1) - ug(i, j - 1)) / (2.0 * dy_);
+      omega(i, j) = dvdx - dudy;
+    }
+  }
+  return omega;
+}
+
+Array2D<double> run_shock_interface(const CfdConfig& cfg, int steps, int nprocs) {
+  const auto pgrid = mpl::CartGrid2D::near_square(nprocs);
+  Array2D<double> density;
+  mpl::spmd_run(nprocs, [&](mpl::Process& p) {
+    CfdSim sim(p, pgrid, cfg);
+    sim.init_shock_interface();
+    sim.run(steps);
+    auto rho = sim.gather_density(0);
+    if (p.rank() == 0) density = std::move(rho);
+  });
+  return density;
+}
+
+}  // namespace ppa::app

@@ -1,0 +1,136 @@
+// ppa/apps/cfd/euler2d.hpp
+//
+// Two-dimensional compressible-flow code on the 2-D mesh archetype (paper
+// section 7.1: "two similar computational fluid dynamics codes ... simulate
+// high Mach number compressible flow, both ... based on the two-dimensional
+// mesh archetype").
+//
+// Physics: compressible Euler equations, conserved variables
+// U = (rho, rho*u, rho*v, E), ideal gas p = (gamma-1)(E - rho(u^2+v^2)/2).
+// Numerics: finite volume with Rusanov (local Lax-Friedrichs) fluxes,
+// dimension-by-dimension, CFL-limited explicit Euler stepping.
+//
+// Archetype structure per step (exactly the mesh pattern):
+//   1. boundary exchange (+ physical BC fill at global boundaries),
+//   2. reduction: global max wave speed -> dt (a replicated global),
+//   3. grid operation: flux differencing into the next state,
+//   4. swap.
+//
+// Scenario (paper Figs 19-20): a planar Mach-M shock propagating in +x into
+// gas at rest whose density jumps from rho_light to rho_heavy across a
+// sinusoidally perturbed interface — "density as a shock interacts with a
+// sinusoidal density gradient".
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "meshspectral/meshspectral.hpp"
+#include "mpl/spmd.hpp"
+#include "support/ndarray.hpp"
+
+namespace ppa::app {
+
+/// Conserved state of one cell.
+struct EulerState {
+  double rho = 1.0;  ///< density
+  double mx = 0.0;   ///< x momentum density
+  double my = 0.0;   ///< y momentum density
+  double E = 1.0;    ///< total energy density
+  friend bool operator==(const EulerState&, const EulerState&) = default;
+};
+static_assert(mpl::Wire<EulerState>);
+
+/// Primitive description used for initialization.
+struct EulerPrim {
+  double rho = 1.0;
+  double u = 0.0;
+  double v = 0.0;
+  double p = 1.0;
+};
+
+[[nodiscard]] EulerState to_conserved(const EulerPrim& w, double gamma);
+[[nodiscard]] EulerPrim to_primitive(const EulerState& s, double gamma);
+
+struct CfdConfig {
+  std::size_t nx = 192;  ///< cells in x
+  std::size_t ny = 64;   ///< cells in y
+  double lx = 3.0;       ///< domain size
+  double ly = 1.0;
+  double gamma = 1.4;
+  double cfl = 0.4;
+
+  // Shock/interface scenario parameters.
+  double mach = 1.5;          ///< shock Mach number (into the light gas)
+  double x_shock = 0.4;       ///< initial shock position
+  double x_interface = 0.8;   ///< mean interface position
+  double amplitude = 0.08;    ///< interface perturbation amplitude
+  int interface_modes = 2;    ///< sine periods across the y extent
+  double rho_light = 1.0;
+  double rho_heavy = 3.0;
+  double p0 = 1.0;            ///< quiescent pressure
+
+  /// true: fully periodic box (conservation testing); false: inflow at x=0
+  /// (post-shock state), outflow at x=lx, periodic in y (the scenario).
+  bool periodic_x = false;
+};
+
+/// Post-shock primitive state from the Rankine–Hugoniot relations for a
+/// Mach-`mach` shock running into (rho0, p0) gas at rest.
+[[nodiscard]] EulerPrim post_shock_state(double mach, double rho0, double p0,
+                                         double gamma);
+
+/// Per-process simulation of the distributed Euler solve.
+class CfdSim {
+ public:
+  CfdSim(mpl::Process& p, const mpl::CartGrid2D& pgrid, const CfdConfig& cfg);
+
+  /// Replace the state with fn(global_i, global_j) (for tests/custom ICs).
+  void set_state(const std::function<EulerState(std::size_t, std::size_t)>& fn);
+
+  /// Initialize the paper's shock/interface scenario.
+  void init_shock_interface();
+
+  /// Advance one time step; returns the dt taken (identical on all ranks).
+  double step();
+  /// Advance `n` steps; returns the simulated time advanced.
+  double run(int n);
+
+  // Diagnostics (reduction operations: results on all ranks).
+  [[nodiscard]] double total_mass();
+  [[nodiscard]] double total_energy();
+  [[nodiscard]] double total_momentum_x();
+  [[nodiscard]] double max_wave_speed();
+  [[nodiscard]] double min_density();
+  [[nodiscard]] double min_pressure();
+
+  /// Gathered dense fields on root (empty elsewhere).
+  [[nodiscard]] Array2D<double> gather_density(int root = 0);
+  /// Vorticity dv/dx - du/dy by central differences on the gathered
+  /// velocity fields (computed at root).
+  [[nodiscard]] Array2D<double> gather_vorticity(int root = 0);
+
+  [[nodiscard]] const mesh::Grid2D<EulerState>& state() const { return u_; }
+  [[nodiscard]] const CfdConfig& config() const { return cfg_; }
+  [[nodiscard]] double dx() const { return dx_; }
+  [[nodiscard]] double dy() const { return dy_; }
+
+ private:
+  void apply_physical_bcs();
+
+  mpl::Process& p_;
+  const mpl::CartGrid2D& pgrid_;
+  CfdConfig cfg_;
+  double dx_;
+  double dy_;
+  mesh::Grid2D<EulerState> u_;
+  mesh::Grid2D<EulerState> unew_;
+  EulerState inflow_;
+};
+
+/// Convenience driver: run the shock-interface scenario for `steps` steps on
+/// `nprocs` SPMD processes and return the final gathered density field.
+[[nodiscard]] Array2D<double> run_shock_interface(const CfdConfig& cfg, int steps,
+                                                  int nprocs);
+
+}  // namespace ppa::app

@@ -1,0 +1,267 @@
+#include "apps/em/fdtd3d.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace ppa::app {
+
+namespace {
+
+/// Apply f(i, j, k) over the local interior of a grid.
+template <typename T, typename F>
+void for_interior3(const mesh::Grid3D<T>& g, F&& f) {
+  const auto nx = static_cast<std::ptrdiff_t>(g.nx());
+  const auto ny = static_cast<std::ptrdiff_t>(g.ny());
+  const auto nz = static_cast<std::ptrdiff_t>(g.nz());
+  for (std::ptrdiff_t i = 0; i < nx; ++i)
+    for (std::ptrdiff_t j = 0; j < ny; ++j)
+      for (std::ptrdiff_t k = 0; k < nz; ++k) f(i, j, k);
+}
+
+}  // namespace
+
+FdtdSim::FdtdSim(mpl::Process& p, const mpl::CartGrid3D& pgrid, const EmConfig& cfg)
+    : p_(p),
+      pgrid_(pgrid),
+      cfg_(cfg),
+      dt_(cfg.courant / std::sqrt(3.0)),
+      ex_(cfg.n, cfg.n, cfg.n, pgrid, p.rank(), 1),
+      ey_(cfg.n, cfg.n, cfg.n, pgrid, p.rank(), 1),
+      ez_(cfg.n, cfg.n, cfg.n, pgrid, p.rank(), 1),
+      hx_(cfg.n, cfg.n, cfg.n, pgrid, p.rank(), 1),
+      hy_(cfg.n, cfg.n, cfg.n, pgrid, p.rank(), 1),
+      hz_(cfg.n, cfg.n, cfg.n, pgrid, p.rank(), 1),
+      inv_eps_(cfg.n, cfg.n, cfg.n, pgrid, p.rank(), 1) {
+  // Material map: dielectric sphere centered in the domain.
+  const double c0 = static_cast<double>(cfg.n) / 2.0;
+  inv_eps_.init_from_global([&](std::size_t gi, std::size_t gj, std::size_t gk) {
+    const double dxc = static_cast<double>(gi) - c0;
+    const double dyc = static_cast<double>(gj) - c0;
+    const double dzc = static_cast<double>(gk) - c0;
+    const double r = std::sqrt(dxc * dxc + dyc * dyc + dzc * dzc);
+    return r <= cfg.sphere_radius ? 1.0 / cfg.eps_sphere : 1.0;
+  });
+}
+
+void FdtdSim::exchange_all_e() {
+  mesh::exchange_boundaries(p_, pgrid_, ex_);
+  mesh::exchange_boundaries(p_, pgrid_, ey_);
+  mesh::exchange_boundaries(p_, pgrid_, ez_);
+}
+
+void FdtdSim::exchange_all_h() {
+  mesh::exchange_boundaries(p_, pgrid_, hx_);
+  mesh::exchange_boundaries(p_, pgrid_, hy_);
+  mesh::exchange_boundaries(p_, pgrid_, hz_);
+}
+
+void FdtdSim::update_h() {
+  // H -= dt * curl E; reads E at +1 neighbors. Ghosts at the global
+  // boundary are zero (never written), consistent with PEC walls.
+  for_interior3(hx_, [&](std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k) {
+    hx_(i, j, k) += dt_ * ((ey_(i, j, k + 1) - ey_(i, j, k)) -
+                           (ez_(i, j + 1, k) - ez_(i, j, k)));
+  });
+  for_interior3(hy_, [&](std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k) {
+    hy_(i, j, k) += dt_ * ((ez_(i + 1, j, k) - ez_(i, j, k)) -
+                           (ex_(i, j, k + 1) - ex_(i, j, k)));
+  });
+  for_interior3(hz_, [&](std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k) {
+    hz_(i, j, k) += dt_ * ((ex_(i, j + 1, k) - ex_(i, j, k)) -
+                           (ey_(i + 1, j, k) - ey_(i, j, k)));
+  });
+}
+
+void FdtdSim::update_e() {
+  // E += dt/eps * curl H; reads H at -1 neighbors.
+  for_interior3(ex_, [&](std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k) {
+    ex_(i, j, k) += dt_ * inv_eps_(i, j, k) *
+                    ((hz_(i, j, k) - hz_(i, j - 1, k)) -
+                     (hy_(i, j, k) - hy_(i, j, k - 1)));
+  });
+  for_interior3(ey_, [&](std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k) {
+    ey_(i, j, k) += dt_ * inv_eps_(i, j, k) *
+                    ((hx_(i, j, k) - hx_(i, j, k - 1)) -
+                     (hz_(i, j, k) - hz_(i - 1, j, k)));
+  });
+  for_interior3(ez_, [&](std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k) {
+    ez_(i, j, k) += dt_ * inv_eps_(i, j, k) *
+                    ((hy_(i, j, k) - hy_(i - 1, j, k)) -
+                     (hx_(i, j, k) - hx_(i, j - 1, k)));
+  });
+}
+
+void FdtdSim::apply_pec() {
+  // Tangential E = 0 on the global boundary faces.
+  const auto n = cfg_.n;
+  const auto zero_face = [n](mesh::Grid3D<double>& g, int axis, bool tangential_a,
+                             bool tangential_b) {
+    (void)tangential_a;
+    (void)tangential_b;
+    const auto nx = static_cast<std::ptrdiff_t>(g.nx());
+    const auto ny = static_cast<std::ptrdiff_t>(g.ny());
+    const auto nz = static_cast<std::ptrdiff_t>(g.nz());
+    if (axis == 0) {
+      if (g.range(0).lo == 0) {
+        for (std::ptrdiff_t j = 0; j < ny; ++j)
+          for (std::ptrdiff_t k = 0; k < nz; ++k) g(0, j, k) = 0.0;
+      }
+      if (g.range(0).hi == n) {
+        for (std::ptrdiff_t j = 0; j < ny; ++j)
+          for (std::ptrdiff_t k = 0; k < nz; ++k) g(nx - 1, j, k) = 0.0;
+      }
+    } else if (axis == 1) {
+      if (g.range(1).lo == 0) {
+        for (std::ptrdiff_t i = 0; i < nx; ++i)
+          for (std::ptrdiff_t k = 0; k < nz; ++k) g(i, 0, k) = 0.0;
+      }
+      if (g.range(1).hi == n) {
+        for (std::ptrdiff_t i = 0; i < nx; ++i)
+          for (std::ptrdiff_t k = 0; k < nz; ++k) g(i, ny - 1, k) = 0.0;
+      }
+    } else {
+      if (g.range(2).lo == 0) {
+        for (std::ptrdiff_t i = 0; i < nx; ++i)
+          for (std::ptrdiff_t j = 0; j < ny; ++j) g(i, j, 0) = 0.0;
+      }
+      if (g.range(2).hi == n) {
+        for (std::ptrdiff_t i = 0; i < nx; ++i)
+          for (std::ptrdiff_t j = 0; j < ny; ++j) g(i, j, nz - 1) = 0.0;
+      }
+    }
+  };
+  // Ey, Ez tangential at x faces; Ex, Ez at y faces; Ex, Ey at z faces.
+  zero_face(ey_, 0, true, true);
+  zero_face(ez_, 0, true, true);
+  zero_face(ex_, 1, true, true);
+  zero_face(ez_, 1, true, true);
+  zero_face(ex_, 2, true, true);
+  zero_face(ey_, 2, true, true);
+}
+
+void FdtdSim::step() {
+  exchange_all_e();
+  update_h();
+  exchange_all_h();
+  update_e();
+  if (source_enabled_) {
+    // Soft source: additive sinusoid with a smooth turn-on ramp.
+    const double t = static_cast<double>(steps_);
+    const double ramp = 1.0 - std::exp(-t / (2.0 * cfg_.source_period));
+    const double value =
+        ramp * std::sin(2.0 * std::numbers::pi * t / cfg_.source_period);
+    if (ez_.range(0).contains(cfg_.src_i) && ez_.range(1).contains(cfg_.src_j) &&
+        ez_.range(2).contains(cfg_.src_k)) {
+      ez_(static_cast<std::ptrdiff_t>(cfg_.src_i - ez_.range(0).lo),
+          static_cast<std::ptrdiff_t>(cfg_.src_j - ez_.range(1).lo),
+          static_cast<std::ptrdiff_t>(cfg_.src_k - ez_.range(2).lo)) += value;
+    }
+  }
+  apply_pec();
+  ++steps_;
+}
+
+void FdtdSim::run(int steps) {
+  for (int s = 0; s < steps; ++s) step();
+}
+
+void FdtdSim::seed_gaussian_ez(double amplitude, double width) {
+  const double c0 = static_cast<double>(cfg_.n) / 2.0;
+  ez_.init_from_global([&](std::size_t gi, std::size_t gj, std::size_t gk) {
+    const double dxc = static_cast<double>(gi) - c0;
+    const double dyc = static_cast<double>(gj) - c0;
+    const double dzc = static_cast<double>(gk) - c0;
+    const double r2 = dxc * dxc + dyc * dyc + dzc * dzc;
+    return amplitude * std::exp(-r2 / (2.0 * width * width));
+  });
+  apply_pec();
+}
+
+double FdtdSim::field_energy() {
+  double local = 0.0;
+  for_interior3(ex_, [&](std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k) {
+    const double eps = 1.0 / inv_eps_(i, j, k);
+    const double e2 = ex_(i, j, k) * ex_(i, j, k) + ey_(i, j, k) * ey_(i, j, k) +
+                      ez_(i, j, k) * ez_(i, j, k);
+    const double h2 = hx_(i, j, k) * hx_(i, j, k) + hy_(i, j, k) * hy_(i, j, k) +
+                      hz_(i, j, k) * hz_(i, j, k);
+    local += 0.5 * (eps * e2 + h2);
+  });
+  return p_.allreduce(local, mpl::SumOp{});
+}
+
+double FdtdSim::max_abs_ez() {
+  const double local = ez_.fold_interior(
+      0.0, [](double acc, double v) { return std::max(acc, std::abs(v)); });
+  return p_.allreduce(local, mpl::MaxOp{});
+}
+
+double FdtdSim::max_abs_div_h() {
+  // On the Yee grid H components sit on face centers, so div H lives at
+  // *cell centers* and is the forward difference of each component. With
+  // that staggering, div(curl E) telescopes to exactly zero, so div H stays
+  // at rounding level for all time. Ghosts must be fresh before evaluating;
+  // points whose +1 neighbor crosses the global boundary are skipped (the
+  // PEC wall truncates the staggered cell there).
+  exchange_all_h();
+  double local = 0.0;
+  const auto n = cfg_.n;
+  for_interior3(hx_, [&](std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k) {
+    const bool at_hi =
+        (hx_.range(0).hi == n && i + 1 == static_cast<std::ptrdiff_t>(hx_.nx())) ||
+        (hx_.range(1).hi == n && j + 1 == static_cast<std::ptrdiff_t>(hx_.ny())) ||
+        (hx_.range(2).hi == n && k + 1 == static_cast<std::ptrdiff_t>(hx_.nz()));
+    if (at_hi) return;
+    const double div = (hx_(i + 1, j, k) - hx_(i, j, k)) +
+                       (hy_(i, j + 1, k) - hy_(i, j, k)) +
+                       (hz_(i, j, k + 1) - hz_(i, j, k));
+    local = std::max(local, std::abs(div));
+  });
+  return p_.allreduce(local, mpl::MaxOp{});
+}
+
+Array2D<double> FdtdSim::gather_ez_plane(int root) {
+  // File-output pattern: every rank sends its intersection with the plane
+  // k = n/2 (tagged with its x/y ranges); root assembles the dense plane.
+  const std::size_t kc = cfg_.n / 2;
+  std::vector<double> mine;
+  const std::uint64_t header[4] = {ez_.range(0).lo, ez_.range(0).hi,
+                                   ez_.range(1).lo, ez_.range(1).hi};
+  const bool have_plane = ez_.range(2).contains(kc);
+  if (have_plane) {
+    const auto kl = static_cast<std::ptrdiff_t>(kc - ez_.range(2).lo);
+    for (std::size_t i = 0; i < ez_.nx(); ++i)
+      for (std::size_t j = 0; j < ez_.ny(); ++j)
+        mine.push_back(ez_(static_cast<std::ptrdiff_t>(i),
+                           static_cast<std::ptrdiff_t>(j), kl));
+  }
+  auto headers = p_.gather_parts(std::span<const std::uint64_t>(header, 4), root);
+  auto parts = p_.gather_parts(std::span<const double>(mine), root);
+  if (p_.rank() != root) return {};
+
+  Array2D<double> plane(cfg_.n, cfg_.n, 0.0);
+  for (std::size_t r = 0; r < parts.size(); ++r) {
+    const auto& part = parts[r];
+    if (part.empty()) continue;
+    const auto& h = headers[r];
+    std::size_t m = 0;
+    for (std::size_t i = h[0]; i < h[1]; ++i)
+      for (std::size_t j = h[2]; j < h[3]; ++j) plane(i, j) = part[m++];
+  }
+  return plane;
+}
+
+Array2D<double> run_em_scattering(const EmConfig& cfg, int steps, int nprocs) {
+  const auto pgrid = mpl::CartGrid3D::near_cubic(nprocs);
+  Array2D<double> plane;
+  mpl::spmd_run(nprocs, [&](mpl::Process& p) {
+    FdtdSim sim(p, pgrid, cfg);
+    sim.run(steps);
+    auto ez = sim.gather_ez_plane(0);
+    if (p.rank() == 0) plane = std::move(ez);
+  });
+  return plane;
+}
+
+}  // namespace ppa::app

@@ -1,0 +1,70 @@
+// ppa/apps/fft2d/fft2d.hpp
+//
+// Two-dimensional FFT on the mesh-spectral archetype (paper section 5).
+//
+// Version 1 (paper Fig 10): forall-style row FFTs followed by column FFTs on
+// a whole, undistributed grid — executable sequentially (ppa::seq) or with
+// parfor workers (ppa::par), with identical results.
+//
+// Version 2 (paper Fig 11): SPMD — each process holds a block of rows,
+// performs its row FFTs, the grid is redistributed to a by-columns
+// distribution (one all-to-all), each process performs its column FFTs, and
+// a final redistribution restores the original by-rows distribution. "Most
+// of the details of interprocess communication are encapsulated in the
+// redistribution operation."
+#pragma once
+
+#include <complex>
+#include <cstddef>
+
+#include "algorithms/fft.hpp"
+#include "core/parfor.hpp"
+#include "meshspectral/rowcol.hpp"
+#include "mpl/process.hpp"
+#include "support/ndarray.hpp"
+
+namespace ppa::app {
+
+using algo::Complex;
+
+/// Version 1: whole-grid 2-D FFT with a row pass then a column pass, using
+/// the parfor construct under the given execution policy.
+template <typename Policy>
+void fft2d_v1(Array2D<Complex>& a, Policy policy, bool inverse = false) {
+  parfor(a.rows(), policy, [&a, inverse](std::size_t i) {
+    algo::fft(a.row(i), inverse);
+  });
+  parfor(a.cols(), policy, [&a, inverse](std::size_t j) {
+    std::vector<Complex> col(a.rows());
+    for (std::size_t i = 0; i < a.rows(); ++i) col[i] = a(i, j);
+    algo::fft(std::span<Complex>(col), inverse);
+    for (std::size_t i = 0; i < a.rows(); ++i) a(i, j) = col[i];
+  });
+}
+
+/// Version 2, per-process body: 2-D FFT of a row-distributed grid. On
+/// return, `data` again holds the by-rows distribution of the transform.
+inline void fft2d_process(mpl::Process& p, mesh::RowDistributed<Complex>& data,
+                          bool inverse = false) {
+  // Row FFTs (precondition: distributed by rows — already true).
+  for (std::size_t r = 0; r < data.rows_local(); ++r) {
+    algo::fft(data.row(r), inverse);
+  }
+  // Redistribute rows -> columns, do the column FFTs, and restore the
+  // original distribution (the paper adds the second redistribution "for the
+  // sake of tidiness").
+  mesh::ColDistributed<Complex> cols(data.nrows(), data.ncols(), p.size(), p.rank());
+  mesh::redistribute(p, data, cols);
+  for (std::size_t c = 0; c < cols.cols_local(); ++c) {
+    algo::fft(cols.col(c), inverse);
+  }
+  mesh::redistribute(p, cols, data);
+}
+
+/// Version 2, whole-problem driver: scatter a dense grid by rows, transform
+/// on `nprocs` SPMD processes, gather the result. Dimensions must be powers
+/// of two (radix-2 substrate).
+[[nodiscard]] Array2D<Complex> fft2d_spmd(const Array2D<Complex>& input, int nprocs,
+                                          bool inverse = false);
+
+}  // namespace ppa::app

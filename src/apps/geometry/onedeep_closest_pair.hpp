@@ -1,0 +1,140 @@
+// ppa/apps/geometry/onedeep_closest_pair.hpp
+//
+// One-deep closest pair ("the problem of finding the two nearest neighbors
+// in a set of points in a plane", paper section 3.6).
+//
+//   * split phase:  nontrivial — sample x-coordinates, choose N-1 vertical
+//                   splitters, and route points into N x-contiguous slabs
+//                   (one all-to-all); the archetype's split machinery is
+//                   reused verbatim from the generic skeleton;
+//   * solve phase:  each process solves the closest pair within its slab
+//                   with the sequential O(n log n) algorithm;
+//   * merge phase:  an allreduce establishes the global upper bound delta;
+//                   pairs straddling slab boundaries are resolved by
+//                   allgathering the *boundary candidates* — points within
+//                   delta of any splitter — and solving the closest pair on
+//                   that (small) set. Completeness: a cross pair (p in slab
+//                   i, q in slab j > i) with dist(p,q) < delta has
+//                   p.x < s <= q.x for the splitter s between slabs i and
+//                   i+1, so both points lie within delta of s and are
+//                   candidates. A final allreduce folds the results.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "algorithms/closest_pair.hpp"
+#include "algorithms/sorting.hpp"
+#include "core/onedeep.hpp"
+#include "mpl/spmd.hpp"
+
+namespace ppa::app {
+
+namespace detail {
+
+/// Split-phase spec: slab decomposition by x with the one-deep machinery.
+/// Remembers the splitters chosen so the merge phase can identify boundary
+/// candidates.
+struct SlabSplit {
+  using value_type = algo::Point2;
+  using split_sample_type = double;
+  using split_param_type = double;
+
+  std::size_t samples_per_process = 64;
+  std::vector<double> chosen_splitters;
+
+  [[nodiscard]] std::vector<double> split_sample(
+      const std::vector<algo::Point2>& local) const {
+    std::vector<double> xs;
+    if (local.empty() || samples_per_process == 0) return xs;
+    const std::size_t stride =
+        std::max<std::size_t>(1, local.size() / samples_per_process);
+    for (std::size_t i = 0; i < local.size() && xs.size() < samples_per_process;
+         i += stride) {
+      xs.push_back(local[i].x);
+    }
+    return xs;
+  }
+  [[nodiscard]] std::vector<double> split_params(const std::vector<double>& samples,
+                                                 int nparts) {
+    chosen_splitters = algo::choose_splitters(samples, nparts);
+    return chosen_splitters;
+  }
+  [[nodiscard]] std::vector<std::vector<algo::Point2>> split_partition(
+      std::vector<algo::Point2> local, const std::vector<double>& splitters,
+      int nparts) const {
+    std::vector<std::vector<algo::Point2>> parts(static_cast<std::size_t>(nparts));
+    for (const auto& pt : local) {
+      const auto it = std::upper_bound(splitters.begin(), splitters.end(), pt.x);
+      parts[static_cast<std::size_t>(it - splitters.begin())].push_back(pt);
+    }
+    return parts;
+  }
+
+  void local_solve(std::vector<algo::Point2>& local) const {
+    std::sort(local.begin(), local.end());  // by x (lexicographic)
+  }
+};
+
+static_assert(onedeep::Spec<SlabSplit>);
+static_assert(onedeep::HasSplitPhase<SlabSplit>);
+
+}  // namespace detail
+
+/// Per-process body: returns the global minimum pair distance (identical on
+/// all ranks). The union of the local point sets must contain >= 2 points.
+[[nodiscard]] inline double onedeep_closest_pair_process(
+    mpl::Process& p, std::vector<algo::Point2> local) {
+  detail::SlabSplit spec;
+  local = onedeep::run_process(spec, p, std::move(local));
+
+  // Solve phase: best pair within the slab.
+  double best = std::numeric_limits<double>::infinity();
+  if (local.size() >= 2) {
+    best = algo::closest_pair(std::span<const algo::Point2>(local)).distance;
+  }
+
+  // Merge phase. delta bounds the answer from above — unless every slab has
+  // fewer than 2 points (delta infinite), in which case every point is a
+  // candidate (there are then at most P of them).
+  const double delta = p.allreduce(best, mpl::MinOp{});
+  double combined = best;
+  if (p.size() > 1) {
+    std::vector<algo::Point2> candidates;
+    if (!std::isfinite(delta)) {
+      candidates = local;
+    } else {
+      for (const auto& pt : local) {
+        for (const double s : spec.chosen_splitters) {
+          if (std::abs(pt.x - s) < delta) {
+            candidates.push_back(pt);
+            break;
+          }
+        }
+      }
+    }
+    const auto all = p.allgather(std::span<const algo::Point2>(candidates));
+    if (all.size() >= 2) {
+      combined = std::min(
+          combined, algo::closest_pair(std::span<const algo::Point2>(all)).distance);
+    }
+  }
+  return p.allreduce(combined, mpl::MinOp{});
+}
+
+/// Whole-problem driver.
+[[nodiscard]] inline double onedeep_closest_pair(
+    const std::vector<algo::Point2>& points, int nprocs) {
+  auto locals = onedeep::block_distribute(points, static_cast<std::size_t>(nprocs));
+  auto results = mpl::spmd_collect<double>(nprocs, [&](mpl::Process& p) {
+    return onedeep_closest_pair_process(
+        p, std::move(locals[static_cast<std::size_t>(p.rank())]));
+  });
+  return results.front();
+}
+
+}  // namespace ppa::app

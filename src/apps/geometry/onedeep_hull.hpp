@@ -1,0 +1,75 @@
+// ppa/apps/geometry/onedeep_hull.hpp
+//
+// One-deep convex hull (listed in paper section 3.6 among the problems
+// amenable to one-deep solutions).
+//
+//   * split phase:  degenerate — the initial distribution of the points;
+//   * solve phase:  each process computes the hull of its local points,
+//                   discarding interior points (the data reduction that
+//                   makes the merge cheap);
+//   * merge phase:  the surviving hull vertices are allgathered — this is
+//                   the paper's communication option "(i) a combination of
+//                   gather and broadcast" for parameter-style data whose
+//                   total size is small — and every process computes the
+//                   hull of the union.
+//
+// This application deliberately exercises the gather+broadcast communication
+// pattern instead of the all-to-all used by the sorting/skyline merges.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "algorithms/hull.hpp"
+#include "core/onedeep.hpp"
+#include "mpl/spmd.hpp"
+
+namespace ppa::app {
+
+static_assert(mpl::Wire<algo::Point2>);
+
+/// Per-process body: local points in, global hull out (on every process).
+[[nodiscard]] inline std::vector<algo::Point2> onedeep_hull_process(
+    mpl::Process& p, std::vector<algo::Point2> local,
+    onedeep::ParamStrategy strategy = onedeep::ParamStrategy::kReplicated) {
+  // Solve phase: local hull.
+  const auto local_hull = algo::convex_hull(std::move(local));
+
+  // Merge phase: combine the (small) local hulls.
+  if (strategy == onedeep::ParamStrategy::kRootBroadcast) {
+    auto gathered = p.gather(std::span<const algo::Point2>(local_hull), 0);
+    std::vector<algo::Point2> hull;
+    if (p.rank() == 0) hull = algo::convex_hull(std::move(gathered));
+    p.broadcast(hull, 0);
+    return hull;
+  }
+  auto gathered = p.allgather(std::span<const algo::Point2>(local_hull));
+  return algo::convex_hull(std::move(gathered));
+}
+
+/// Whole-problem driver.
+[[nodiscard]] inline std::vector<algo::Point2> onedeep_hull(
+    const std::vector<algo::Point2>& points, int nprocs,
+    onedeep::ParamStrategy strategy = onedeep::ParamStrategy::kReplicated) {
+  auto locals = onedeep::block_distribute(points, static_cast<std::size_t>(nprocs));
+  auto results =
+      mpl::spmd_collect<std::vector<algo::Point2>>(nprocs, [&](mpl::Process& p) {
+        return onedeep_hull_process(
+            p, std::move(locals[static_cast<std::size_t>(p.rank())]), strategy);
+      });
+  return results.front();  // identical on every rank
+}
+
+/// Sequentially executed version-1 form: the same dataflow with loops.
+[[nodiscard]] inline std::vector<algo::Point2> onedeep_hull_sequential(
+    const std::vector<algo::Point2>& points, int nprocs) {
+  auto locals = onedeep::block_distribute(points, static_cast<std::size_t>(nprocs));
+  std::vector<algo::Point2> gathered;
+  for (auto& local : locals) {
+    const auto h = algo::convex_hull(std::move(local));
+    gathered.insert(gathered.end(), h.begin(), h.end());
+  }
+  return algo::convex_hull(std::move(gathered));
+}
+
+}  // namespace ppa::app

@@ -1,0 +1,149 @@
+#include "apps/poisson/poisson.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ppa::app {
+
+namespace {
+
+/// Grid spacing; the discretization lives on the unit square.
+double spacing(const PoissonProblem& prob) {
+  return 1.0 / static_cast<double>(std::max(prob.nx, prob.ny) - 1);
+}
+
+}  // namespace
+
+PoissonResult poisson_v1(const PoissonProblem& prob) {
+  const std::size_t nx = prob.nx;
+  const std::size_t ny = prob.ny;
+  const double h = spacing(prob);
+
+  // uk: current iterate; ukp: next iterate; fv: RHS samples.
+  Array2D<double> uk(nx, ny, 0.0), ukp(nx, ny, 0.0), fv(nx, ny, 0.0);
+
+  // "Initialize boundary of u to g(x,y), interior to initial guess" (zero).
+  for (std::size_t i = 0; i < nx; ++i) {
+    for (std::size_t j = 0; j < ny; ++j) {
+      const double x = static_cast<double>(i) * h;
+      const double y = static_cast<double>(j) * h;
+      fv(i, j) = prob.f(x, y);
+      const bool boundary = (i == 0 || i == nx - 1 || j == 0 || j == ny - 1);
+      uk(i, j) = boundary ? prob.g(x, y) : 0.0;
+    }
+  }
+  ukp = uk;
+
+  PoissonResult result;
+  double diffmax = prob.tolerance + 1.0;
+  while (diffmax > prob.tolerance && result.iterations < prob.max_iters) {
+    // Grid operation (the forall of Fig 13): new values at interior points.
+    for (std::size_t i = 1; i + 1 < nx; ++i) {
+      for (std::size_t j = 1; j + 1 < ny; ++j) {
+        ukp(i, j) = (uk(i - 1, j) + uk(i + 1, j) + uk(i, j - 1) + uk(i, j + 1) -
+                     h * h * fv(i, j)) *
+                    0.25;
+      }
+    }
+    // Reduction operation: diffmax = max |ukp - uk| over the interior.
+    diffmax = 0.0;
+    for (std::size_t i = 1; i + 1 < nx; ++i) {
+      for (std::size_t j = 1; j + 1 < ny; ++j) {
+        diffmax = std::max(diffmax, std::abs(ukp(i, j) - uk(i, j)));
+      }
+    }
+    // Copy new values to old values.
+    for (std::size_t i = 1; i + 1 < nx; ++i) {
+      for (std::size_t j = 1; j + 1 < ny; ++j) uk(i, j) = ukp(i, j);
+    }
+    ++result.iterations;
+  }
+  result.u = std::move(uk);
+  result.final_diffmax = diffmax;
+  return result;
+}
+
+PoissonResult poisson_process(mpl::Process& p, const mpl::CartGrid2D& pgrid,
+                              const PoissonProblem& prob) {
+  const std::size_t nx = prob.nx;
+  const std::size_t ny = prob.ny;
+  const double h = spacing(prob);
+
+  mesh::Grid2D<double> uk(nx, ny, pgrid, p.rank(), 1);
+  mesh::Grid2D<double> ukp(nx, ny, pgrid, p.rank(), 1);
+  mesh::Grid2D<double> fv(nx, ny, pgrid, p.rank(), 1);
+
+  // initialize_section: boundary to g, interior to the initial guess.
+  fv.init_from_global([&](std::size_t gi, std::size_t gj) {
+    return prob.f(static_cast<double>(gi) * h, static_cast<double>(gj) * h);
+  });
+  uk.init_from_global([&](std::size_t gi, std::size_t gj) {
+    const bool boundary = (gi == 0 || gi == nx - 1 || gj == 0 || gj == ny - 1);
+    return boundary
+               ? prob.g(static_cast<double>(gi) * h, static_cast<double>(gj) * h)
+               : 0.0;
+  });
+  ukp.copy_interior_from(uk);
+
+  // Intersection of the whole grid's interior with the local section
+  // (xintersect/yintersect in Fig 14): local index bounds of points this
+  // process actually updates.
+  const auto ilo = static_cast<std::ptrdiff_t>(uk.x_range().lo == 0 ? 1 : 0);
+  const auto jlo = static_cast<std::ptrdiff_t>(uk.y_range().lo == 0 ? 1 : 0);
+  const auto ihi = static_cast<std::ptrdiff_t>(uk.nx()) -
+                   (uk.x_range().hi == nx ? 1 : 0);
+  const auto jhi = static_cast<std::ptrdiff_t>(uk.ny()) -
+                   (uk.y_range().hi == ny ? 1 : 0);
+
+  // The replicated global variable controlling the loop (Fig 14's diffmax):
+  // copy consistency holds because it is only assigned values that are
+  // identical on every process (the initializer and the allreduce result).
+  mesh::Global<double> diffmax(prob.tolerance + 1.0);
+
+  PoissonResult result;
+  while (diffmax.get() > prob.tolerance && result.iterations < prob.max_iters) {
+    // Precondition of the stencil grid operation: fresh shadow copies.
+    mesh::exchange_boundaries(p, pgrid, uk);
+
+    // Grid operation over the local section of the interior.
+    for (std::ptrdiff_t i = ilo; i < ihi; ++i) {
+      for (std::ptrdiff_t j = jlo; j < jhi; ++j) {
+        ukp(i, j) = (uk(i - 1, j) + uk(i + 1, j) + uk(i, j - 1) + uk(i, j + 1) -
+                     h * h * fv(i, j)) *
+                    0.25;
+      }
+    }
+
+    // Reduction: local max then allreduce; postcondition re-establishes the
+    // copy consistency of diffmax on every process.
+    double local_diffmax = 0.0;
+    for (std::ptrdiff_t i = ilo; i < ihi; ++i) {
+      for (std::ptrdiff_t j = jlo; j < jhi; ++j) {
+        local_diffmax = std::max(local_diffmax, std::abs(ukp(i, j) - uk(i, j)));
+      }
+    }
+    diffmax.store_replicated(p, p.allreduce(local_diffmax, mpl::MaxOp{}));
+
+    for (std::ptrdiff_t i = ilo; i < ihi; ++i) {
+      for (std::ptrdiff_t j = jlo; j < jhi; ++j) uk(i, j) = ukp(i, j);
+    }
+    ++result.iterations;
+  }
+
+  // print_section: gather-to-root file-output pattern.
+  result.u = mesh::gather_grid(p, pgrid, uk, 0);
+  result.final_diffmax = diffmax.get();
+  return result;
+}
+
+PoissonResult poisson_spmd(const PoissonProblem& prob, int nprocs) {
+  const auto pgrid = mpl::CartGrid2D::near_square(nprocs);
+  PoissonResult result;
+  mpl::spmd_run(nprocs, [&](mpl::Process& p) {
+    auto local = poisson_process(p, pgrid, prob);
+    if (p.rank() == 0) result = std::move(local);
+  });
+  return result;
+}
+
+}  // namespace ppa::app

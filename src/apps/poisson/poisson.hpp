@@ -1,0 +1,65 @@
+// ppa/apps/poisson/poisson.hpp
+//
+// Jacobi Poisson solver on the mesh-spectral archetype (paper section 6):
+// solve  d2u/dx2 + d2u/dy2 = f(x,y)  on the unit square with Dirichlet
+// boundary condition u = g(x,y), by discretizing and applying Jacobi
+// iteration to all interior points until convergence:
+//
+//     ukp[i][j] = ( uk[i-1][j] + uk[i+1][j] + uk[i][j-1] + uk[i][j+1]
+//                   - h*h*f[i][j] ) / 4
+//
+// Version 1 (paper Fig 13): whole-grid forall + reduction-controlled while
+// loop, sequentially executable.
+//
+// Version 2 (paper Fig 14): SPMD with a generic block distribution over an
+// NPX x NPY process grid; every iteration is one boundary exchange, one
+// local grid operation, and one allreduce(max) that re-establishes copy
+// consistency of the replicated global `diffmax` before it controls the
+// loop.
+//
+// Determinism note: each interior point's update uses identical arithmetic
+// in both versions and the convergence test combines with max (exact under
+// any association), so version 1 and version 2 agree bitwise and take the
+// same number of iterations.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "meshspectral/meshspectral.hpp"
+#include "mpl/spmd.hpp"
+#include "support/ndarray.hpp"
+
+namespace ppa::app {
+
+struct PoissonProblem {
+  std::size_t nx = 64;  ///< interior+boundary points per side (>= 3)
+  std::size_t ny = 64;
+  double tolerance = 1e-4;     ///< on max |u_{k+1} - u_k|
+  std::size_t max_iters = 100000;
+  /// Right-hand side f(x, y) and boundary condition g(x, y), both over the
+  /// unit square (x = i/(nx-1), y = j/(ny-1)).
+  std::function<double(double, double)> f = [](double, double) { return 0.0; };
+  std::function<double(double, double)> g = [](double, double) { return 0.0; };
+};
+
+struct PoissonResult {
+  Array2D<double> u;       ///< converged field (on the calling process)
+  std::size_t iterations = 0;
+  double final_diffmax = 0.0;
+};
+
+/// Version 1: sequential whole-grid Jacobi iteration (paper Fig 13).
+[[nodiscard]] PoissonResult poisson_v1(const PoissonProblem& prob);
+
+/// Version 2, per-process body (paper Fig 14). Returns this process's local
+/// section (interior) plus the shared iteration count. The result field on
+/// rank 0 is the gathered global grid; other ranks return an empty grid.
+[[nodiscard]] PoissonResult poisson_process(mpl::Process& p,
+                                            const mpl::CartGrid2D& pgrid,
+                                            const PoissonProblem& prob);
+
+/// Version 2, whole-problem driver on `nprocs` SPMD processes.
+[[nodiscard]] PoissonResult poisson_spmd(const PoissonProblem& prob, int nprocs);
+
+}  // namespace ppa::app

@@ -1,0 +1,154 @@
+// ppa/apps/skyline/onedeep_skyline.hpp
+//
+// One-deep skyline (paper section 3.6.1). The value type is Building
+// throughout: a skyline is carried as its constituent segments (maximal
+// constant-height "buildings"), which is exactly the paper's formulation —
+// the merge phase "use[s] these splitters to split each skyline into N
+// adjacent buildings, each located between two splitters".
+//
+//   * split phase:  degenerate — the initial distribution of buildings;
+//   * solve phase:  compute the local skyline with the sequential algorithm;
+//   * merge phase:  sample the extents (leftmost/rightmost points) of the
+//                   local skylines, choose N-1 vertical cut lines, clip every
+//                   local skyline to the strips, redistribute so process i
+//                   receives all pieces in strip i, and merge them with the
+//                   sequential merge.
+//
+// The concatenation of the local skylines is the final skyline.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "algorithms/skyline.hpp"
+#include "core/onedeep.hpp"
+#include "mpl/spmd.hpp"
+
+namespace ppa::app {
+
+/// Convert a canonical skyline into its constituent segments/buildings.
+[[nodiscard]] inline std::vector<algo::Building> skyline_to_buildings(
+    const algo::Skyline& s) {
+  std::vector<algo::Building> out;
+  for (std::size_t k = 0; k < s.size(); ++k) {
+    if (s[k].h <= 0.0) continue;
+    const double right = (k + 1 < s.size()) ? s[k + 1].x : s[k].x;
+    out.push_back({s[k].x, right, s[k].h});
+  }
+  return out;
+}
+
+/// Rebuild a canonical skyline from adjacent, non-overlapping segments
+/// ordered by x (heights are copied verbatim, so the conversion roundtrips
+/// exactly).
+[[nodiscard]] inline algo::Skyline buildings_to_skyline(
+    std::span<const algo::Building> segments) {
+  std::vector<algo::Skyline> pieces;
+  pieces.reserve(segments.size());
+  for (const auto& b : segments) pieces.push_back(algo::skyline_of(b));
+  return algo::concat_skylines(pieces);
+}
+
+struct OneDeepSkyline {
+  using value_type = algo::Building;
+  using merge_sample_type = double;  // extent endpoints of local skylines
+  using merge_param_type = double;   // vertical cut abscissae
+
+  void local_solve(std::vector<algo::Building>& local) const {
+    local = skyline_to_buildings(
+        algo::skyline_divide_and_conquer(std::span<const algo::Building>(local)));
+  }
+
+  [[nodiscard]] std::vector<double> merge_sample(
+      const std::vector<algo::Building>& local) const {
+    // "Sample the data locally to find the distribution of points within the
+    // local skylines (in particular ... the leftmost and the rightmost
+    // points)" — we sample every segment endpoint, which lets merge_params
+    // balance points per strip, not just the global extent.
+    std::vector<double> xs;
+    xs.reserve(2 * local.size());
+    for (const auto& b : local) {
+      xs.push_back(b.left);
+      xs.push_back(b.right);
+    }
+    return xs;
+  }
+
+  [[nodiscard]] std::vector<double> merge_params(
+      const std::vector<double>& all_samples, int nparts) const {
+    // Vertical cut lines at the sample quantiles ("which possibly have
+    // approximately equal number of points").
+    std::vector<double> xs = all_samples;
+    std::sort(xs.begin(), xs.end());
+    std::vector<double> cuts;
+    cuts.reserve(static_cast<std::size_t>(nparts > 0 ? nparts - 1 : 0));
+    for (int q = 1; q < nparts; ++q) {
+      if (xs.empty()) break;
+      const std::size_t idx =
+          block_range(xs.size(), static_cast<std::size_t>(nparts),
+                      static_cast<std::size_t>(q))
+              .lo;
+      cuts.push_back(xs[std::min(idx, xs.size() - 1)]);
+    }
+    return cuts;
+  }
+
+  [[nodiscard]] std::vector<std::vector<algo::Building>> repartition(
+      std::vector<algo::Building> local, const std::vector<double>& cuts,
+      int nparts) const {
+    std::vector<std::vector<algo::Building>> parts(static_cast<std::size_t>(nparts));
+    for (const auto& b : local) {
+      // Clip the segment to each strip it overlaps. Strip q spans
+      // [cuts[q-1], cuts[q]) with open ends at the extremes.
+      for (int q = 0; q < nparts; ++q) {
+        const double lo = (q == 0) ? b.left : cuts[static_cast<std::size_t>(q - 1)];
+        const double hi = (q == nparts - 1) ? b.right
+                                            : cuts[static_cast<std::size_t>(q)];
+        const double l = std::max(b.left, lo);
+        const double r = std::min(b.right, hi);
+        if (l < r) parts[static_cast<std::size_t>(q)].push_back({l, r, b.height});
+      }
+    }
+    return parts;
+  }
+
+  [[nodiscard]] std::vector<algo::Building> local_merge(
+      std::vector<std::vector<algo::Building>> parts) const {
+    std::vector<algo::Building> all;
+    for (auto& p : parts) all.insert(all.end(), p.begin(), p.end());
+    // "In each process combine the buildings using the merge algorithm from
+    // the sequential algorithm."
+    return skyline_to_buildings(
+        algo::skyline_divide_and_conquer(std::span<const algo::Building>(all)));
+  }
+};
+
+static_assert(onedeep::Spec<OneDeepSkyline>);
+static_assert(onedeep::HasMergePhase<OneDeepSkyline>);
+static_assert(!onedeep::HasSplitPhase<OneDeepSkyline>);
+
+/// Whole-problem driver: skyline of `buildings` on `nprocs` SPMD processes.
+[[nodiscard]] inline algo::Skyline onedeep_skyline(
+    const std::vector<algo::Building>& buildings, int nprocs) {
+  auto locals = onedeep::block_distribute(buildings, static_cast<std::size_t>(nprocs));
+  auto results =
+      mpl::spmd_collect<std::vector<algo::Building>>(nprocs, [&](mpl::Process& p) {
+        OneDeepSkyline spec;
+        return onedeep::run_process(
+            spec, p, std::move(locals[static_cast<std::size_t>(p.rank())]));
+      });
+  return buildings_to_skyline(onedeep::gather_blocks(std::move(results)));
+}
+
+/// Sequentially executed version-1 form (identical result).
+[[nodiscard]] inline algo::Skyline onedeep_skyline_sequential(
+    const std::vector<algo::Building>& buildings, int nprocs) {
+  OneDeepSkyline spec;
+  auto out = onedeep::run_sequential(
+      spec, onedeep::block_distribute(buildings, static_cast<std::size_t>(nprocs)));
+  return buildings_to_skyline(onedeep::gather_blocks(std::move(out)));
+}
+
+}  // namespace ppa::app

@@ -1,0 +1,61 @@
+// ppa/apps/sort/onedeep_mergesort.hpp
+//
+// One-deep mergesort (paper section 3.5): the archetype's running example.
+//
+//   * split phase:  degenerate — the initial block distribution is the split;
+//   * solve phase:  sort each local block with an efficient sequential
+//                   algorithm;
+//   * merge phase:  compute N-1 splitters from samples of the sorted local
+//                   runs, cut each run into N sorted sublists, redistribute
+//                   so process i receives all sublists in splitter interval
+//                   i (one all-to-all), and k-way merge locally.
+//
+// After termination process i holds a sorted run whose elements lie between
+// its neighbors' runs, so the global sort is the concatenation.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "algorithms/sorting.hpp"
+#include "core/onedeep.hpp"
+
+namespace ppa::app {
+
+template <mpl::Wire T, typename Compare = std::less<T>>
+struct OneDeepMergesort {
+  using value_type = T;
+  using merge_sample_type = T;
+  using merge_param_type = T;
+
+  /// Oversampling: how many regular samples each process contributes to the
+  /// splitter computation ("parameters ... computed using a small sample of
+  /// the problem data").
+  std::size_t samples_per_process = 64;
+  Compare cmp{};
+
+  void local_solve(std::vector<T>& local) const { algo::merge_sort(local, cmp); }
+
+  [[nodiscard]] std::vector<T> merge_sample(const std::vector<T>& local) const {
+    return algo::regular_sample(std::span<const T>(local), samples_per_process);
+  }
+  [[nodiscard]] std::vector<T> merge_params(const std::vector<T>& all_samples,
+                                            int nparts) const {
+    return algo::choose_splitters(all_samples, nparts, cmp);
+  }
+  [[nodiscard]] std::vector<std::vector<T>> repartition(
+      std::vector<T> local, const std::vector<T>& splitters, int nparts) const {
+    return algo::split_by_splitters(std::move(local), splitters, nparts, cmp);
+  }
+  [[nodiscard]] std::vector<T> local_merge(std::vector<std::vector<T>> parts) const {
+    return algo::kway_merge(parts, cmp);
+  }
+};
+
+static_assert(onedeep::Spec<OneDeepMergesort<int>>);
+static_assert(onedeep::HasMergePhase<OneDeepMergesort<int>>);
+static_assert(!onedeep::HasSplitPhase<OneDeepMergesort<int>>);
+
+}  // namespace ppa::app

@@ -1,0 +1,75 @@
+// ppa/apps/sort/onedeep_quicksort.hpp
+//
+// One-deep quicksort (paper section 3.6.2): "unlike the one-deep versions of
+// mergesort and the skyline algorithm, [it] has a nontrivial split phase and
+// a degenerate merge phase":
+//
+//   * split phase:  select N-1 pivot elements from samples of the (unsorted)
+//                   local data and partition the data into N segments with
+//                   segment i between pivots p_i and p_{i+1} (one
+//                   all-to-all);
+//   * solve phase:  sort each local segment with an efficient sequential
+//                   algorithm;
+//   * merge phase:  degenerate — the sorted list is the concatenation.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "algorithms/sorting.hpp"
+#include "core/onedeep.hpp"
+
+namespace ppa::app {
+
+template <mpl::Wire T, typename Compare = std::less<T>>
+struct OneDeepQuicksort {
+  using value_type = T;
+  using split_sample_type = T;
+  using split_param_type = T;
+
+  std::size_t samples_per_process = 64;
+  Compare cmp{};
+
+  [[nodiscard]] std::vector<T> split_sample(const std::vector<T>& local) const {
+    // The local data is unsorted at split time: take a strided sample (the
+    // pivot-selection quality is what the sampling-rate ablation bench
+    // measures).
+    std::vector<T> sample;
+    if (local.empty() || samples_per_process == 0) return sample;
+    const std::size_t stride =
+        std::max<std::size_t>(1, local.size() / samples_per_process);
+    for (std::size_t i = 0; i < local.size() && sample.size() < samples_per_process;
+         i += stride) {
+      sample.push_back(local[i]);
+    }
+    return sample;
+  }
+  [[nodiscard]] std::vector<T> split_params(const std::vector<T>& all_samples,
+                                            int nparts) const {
+    return algo::choose_splitters(all_samples, nparts, cmp);
+  }
+  [[nodiscard]] std::vector<std::vector<T>> split_partition(
+      std::vector<T> local, const std::vector<T>& pivots, int nparts) const {
+    std::vector<std::vector<T>> parts(static_cast<std::size_t>(nparts));
+    for (auto& v : local) {
+      // Segment q holds values with exactly q pivots <= v, mirroring the
+      // splitter convention of the mergesort merge phase.
+      const auto it = std::upper_bound(pivots.begin(), pivots.end(), v, cmp);
+      parts[static_cast<std::size_t>(it - pivots.begin())].push_back(std::move(v));
+    }
+    return parts;
+  }
+
+  void local_solve(std::vector<T>& local) const {
+    algo::quick_sort(std::span<T>(local), cmp);
+  }
+};
+
+static_assert(onedeep::Spec<OneDeepQuicksort<int>>);
+static_assert(onedeep::HasSplitPhase<OneDeepQuicksort<int>>);
+static_assert(!onedeep::HasMergePhase<OneDeepQuicksort<int>>);
+
+}  // namespace ppa::app

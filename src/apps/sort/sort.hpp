@@ -1,0 +1,69 @@
+// ppa/apps/sort/sort.hpp — whole-array convenience drivers for the sorting
+// applications. Each driver runs its own SPMD world over the block-
+// distributed input and returns the concatenated (globally sorted) result;
+// per-process entry points are exposed for callers that already live inside
+// an SPMD computation (the benches use those).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "apps/sort/onedeep_mergesort.hpp"
+#include "apps/sort/onedeep_quicksort.hpp"
+#include "apps/sort/traditional_mergesort.hpp"
+#include "mpl/spmd.hpp"
+
+namespace ppa::app {
+
+/// One-deep mergesort of `data` on `nprocs` SPMD processes.
+template <mpl::Wire T, typename Compare = std::less<T>>
+std::vector<T> onedeep_mergesort(const std::vector<T>& data, int nprocs,
+                                 Compare cmp = {},
+                                 std::size_t samples_per_process = 64) {
+  auto locals = onedeep::block_distribute(data, static_cast<std::size_t>(nprocs));
+  auto results = mpl::spmd_collect<std::vector<T>>(nprocs, [&](mpl::Process& p) {
+    OneDeepMergesort<T, Compare> spec{samples_per_process, cmp};
+    return onedeep::run_process(spec, p,
+                                std::move(locals[static_cast<std::size_t>(p.rank())]));
+  });
+  return onedeep::gather_blocks(std::move(results));
+}
+
+/// One-deep mergesort, sequentially executed version-1 form (identical
+/// result; the paper's debugging mode).
+template <mpl::Wire T, typename Compare = std::less<T>>
+std::vector<T> onedeep_mergesort_sequential(const std::vector<T>& data, int nprocs,
+                                            Compare cmp = {},
+                                            std::size_t samples_per_process = 64) {
+  OneDeepMergesort<T, Compare> spec{samples_per_process, cmp};
+  auto out = onedeep::run_sequential(
+      spec, onedeep::block_distribute(data, static_cast<std::size_t>(nprocs)));
+  return onedeep::gather_blocks(std::move(out));
+}
+
+/// One-deep quicksort of `data` on `nprocs` SPMD processes.
+template <mpl::Wire T, typename Compare = std::less<T>>
+std::vector<T> onedeep_quicksort(const std::vector<T>& data, int nprocs,
+                                 Compare cmp = {},
+                                 std::size_t samples_per_process = 64) {
+  auto locals = onedeep::block_distribute(data, static_cast<std::size_t>(nprocs));
+  auto results = mpl::spmd_collect<std::vector<T>>(nprocs, [&](mpl::Process& p) {
+    OneDeepQuicksort<T, Compare> spec{samples_per_process, cmp};
+    return onedeep::run_process(spec, p,
+                                std::move(locals[static_cast<std::size_t>(p.rank())]));
+  });
+  return onedeep::gather_blocks(std::move(results));
+}
+
+/// One-deep quicksort, sequentially executed version-1 form.
+template <mpl::Wire T, typename Compare = std::less<T>>
+std::vector<T> onedeep_quicksort_sequential(const std::vector<T>& data, int nprocs,
+                                            Compare cmp = {},
+                                            std::size_t samples_per_process = 64) {
+  OneDeepQuicksort<T, Compare> spec{samples_per_process, cmp};
+  auto out = onedeep::run_sequential(
+      spec, onedeep::block_distribute(data, static_cast<std::size_t>(nprocs)));
+  return onedeep::gather_blocks(std::move(out));
+}
+
+}  // namespace ppa::app

@@ -1,0 +1,149 @@
+// ppa/core/branch_and_bound.hpp
+//
+// A *nondeterministic* archetype: parallel branch and bound. The paper's
+// future-work list calls for exactly this ("some problems are better suited
+// to nondeterministic archetypes — for example branch and bound — so our
+// library of archetypes should include such archetypes as well", section 8).
+//
+// Computational pattern (minimization):
+//   * a problem node either is a leaf (with a known value) or can be
+//     branched into subproblems;
+//   * every node has a lower bound on the best value reachable beneath it;
+//   * nodes whose bound is >= the incumbent (best known value) are pruned.
+//
+// Parallelization strategy and dataflow:
+//   * deterministic seeding — every process expands the root breadth-first
+//     to at least `seed_factor * P` frontier nodes (identical computation on
+//     all ranks, like the one-deep archetype's replicated parameter
+//     computation) and keeps the nodes with index == rank (mod P);
+//   * synchronous rounds — each round, every process expands up to
+//     `chunk` nodes depth-first against its local incumbent, then an
+//     allreduce(min) shares incumbents and an allreduce(sum) of remaining
+//     frontier sizes decides termination. The collective discipline (all
+//     ranks execute the same collective sequence) is preserved even though
+//     the *work* each rank does is nondeterministic in size — this is what
+//     makes the archetype nondeterministic while keeping its *result*
+//     deterministic (the optimum is unique even if the search path is not).
+//
+// Communication structure: allreduce per round — nothing else.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "mpl/process.hpp"
+
+namespace ppa::bnb {
+
+/// A branch-and-bound specification for minimization.
+///   using node_type = ...;                         search-tree node
+///   double bound(const node_type&)                 lower bound below node
+///   bool is_leaf(const node_type&)                 complete solution?
+///   double leaf_value(const node_type&)            value of a leaf
+///   std::vector<node_type> branch(const node_type&)  children
+template <typename S>
+concept Spec = requires(S s, const typename S::node_type& n) {
+  { s.bound(n) } -> std::convertible_to<double>;
+  { s.is_leaf(n) } -> std::convertible_to<bool>;
+  { s.leaf_value(n) } -> std::convertible_to<double>;
+  { s.branch(n) } -> std::same_as<std::vector<typename S::node_type>>;
+};
+
+inline constexpr double kInfinity = 1e300;
+
+namespace detail {
+
+/// Expand up to `budget` nodes of `pool` (LIFO) against `incumbent`;
+/// returns the number of nodes expanded.
+template <Spec S>
+std::size_t expand_some(S& spec, std::vector<typename S::node_type>& pool,
+                        double& incumbent, std::size_t budget) {
+  std::size_t expanded = 0;
+  while (!pool.empty() && expanded < budget) {
+    auto node = std::move(pool.back());
+    pool.pop_back();
+    ++expanded;
+    if (spec.bound(node) >= incumbent) continue;  // pruned
+    if (spec.is_leaf(node)) {
+      incumbent = std::min(incumbent, spec.leaf_value(node));
+      continue;
+    }
+    for (auto& child : spec.branch(node)) {
+      if (spec.bound(child) < incumbent) pool.push_back(std::move(child));
+    }
+  }
+  return expanded;
+}
+
+}  // namespace detail
+
+/// Sequential driver: exact minimum below `root`.
+template <Spec S>
+double solve_sequential(S& spec, typename S::node_type root) {
+  std::vector<typename S::node_type> pool;
+  pool.push_back(std::move(root));
+  double incumbent = kInfinity;
+  while (!pool.empty()) {
+    detail::expand_some(spec, pool, incumbent, pool.size() + 16);
+  }
+  return incumbent;
+}
+
+/// SPMD per-process driver: every rank returns the global minimum.
+/// `chunk` bounds the work per synchronization round; `seed_factor` scales
+/// the deterministic initial decomposition.
+template <Spec S>
+double solve_process(S& spec, mpl::Process& p, typename S::node_type root,
+                     std::size_t chunk = 512, std::size_t seed_factor = 4) {
+  const auto np = static_cast<std::size_t>(p.size());
+
+  // --- deterministic seeding (replicated computation) -----------------------
+  std::vector<typename S::node_type> frontier;
+  frontier.push_back(std::move(root));
+  double incumbent = kInfinity;
+  while (frontier.size() < seed_factor * np && !frontier.empty()) {
+    // One BFS level; leaves encountered update the (replicated) incumbent.
+    std::vector<typename S::node_type> next;
+    bool expanded_any = false;
+    for (auto& node : frontier) {
+      if (spec.bound(node) >= incumbent) continue;
+      if (spec.is_leaf(node)) {
+        incumbent = std::min(incumbent, spec.leaf_value(node));
+        continue;
+      }
+      expanded_any = true;
+      for (auto& child : spec.branch(node)) {
+        if (spec.bound(child) < incumbent) next.push_back(std::move(child));
+      }
+    }
+    frontier = std::move(next);
+    if (!expanded_any) break;
+  }
+
+  // Keep this rank's share of the seeded frontier (block-cyclic).
+  std::vector<typename S::node_type> pool;
+  for (std::size_t i = static_cast<std::size_t>(p.rank()); i < frontier.size();
+       i += np) {
+    pool.push_back(std::move(frontier[i]));
+  }
+
+  // --- synchronous rounds -----------------------------------------------------
+  while (true) {
+    detail::expand_some(spec, pool, incumbent, chunk);
+    // Share incumbents, then decide termination — two allreduces per round,
+    // executed by every rank in the same order (collective discipline).
+    incumbent = p.allreduce(incumbent, mpl::MinOp{});
+    const auto remaining =
+        p.allreduce(static_cast<std::uint64_t>(pool.size()), mpl::SumOp{});
+    if (remaining == 0) break;
+    // Re-prune the local pool against the sharpened incumbent.
+    std::erase_if(pool, [&](const typename S::node_type& n) {
+      return spec.bound(n) >= incumbent;
+    });
+  }
+  return incumbent;
+}
+
+}  // namespace ppa::bnb

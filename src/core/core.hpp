@@ -1,0 +1,8 @@
+// ppa/core/core.hpp — umbrella header for the archetype core: execution
+// policies and parfor, the one-deep divide-and-conquer skeleton, and the
+// traditional divide-and-conquer baseline.
+#pragma once
+
+#include "core/onedeep.hpp"         // IWYU pragma: export
+#include "core/parfor.hpp"          // IWYU pragma: export
+#include "core/traditional_dc.hpp"  // IWYU pragma: export

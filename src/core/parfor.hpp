@@ -1,0 +1,65 @@
+// ppa/core/parfor.hpp
+//
+// The CC-style `parfor` construct the paper uses in its "version 1"
+// archetype-based algorithms (Figs 4, 10, 13). Iterations must be
+// independent — that independence is part of the computational pattern each
+// archetype captures — so the construct can be executed either sequentially
+// (for debugging "in the sequential domain using familiar tools") or in
+// parallel, with identical results for deterministic programs.
+//
+//   ppa::parfor(n, ppa::seq,    [&](std::size_t i) { ... });
+//   ppa::parfor(n, ppa::par(4), [&](std::size_t i) { ... });
+#pragma once
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "support/partition.hpp"
+
+namespace ppa {
+
+/// Sequential execution policy: parfor degenerates to a for loop.
+struct SeqPolicy {};
+inline constexpr SeqPolicy seq{};
+
+/// Parallel execution policy with an explicit worker count.
+struct ParPolicy {
+  int workers = 1;
+};
+/// Convenience factory: ppa::par(8).
+[[nodiscard]] inline ParPolicy par(int workers) { return ParPolicy{workers}; }
+/// Parallel policy sized to the hardware.
+[[nodiscard]] inline ParPolicy par_hw() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return ParPolicy{hc == 0 ? 2 : static_cast<int>(hc)};
+}
+
+/// parfor, sequential flavour: exactly `for (i = 0; i < n; ++i) body(i)`.
+template <typename Body>
+void parfor(std::size_t n, SeqPolicy, Body&& body) {
+  for (std::size_t i = 0; i < n; ++i) body(i);
+}
+
+/// parfor, parallel flavour: the iteration space is block-partitioned over
+/// `policy.workers` threads. The body must not create dependences between
+/// iterations (the archetype guarantees this by construction).
+template <typename Body>
+void parfor(std::size_t n, ParPolicy policy, Body&& body) {
+  const auto workers = static_cast<std::size_t>(policy.workers < 1 ? 1 : policy.workers);
+  if (workers == 1 || n <= 1) {
+    parfor(n, seq, std::forward<Body>(body));
+    return;
+  }
+  std::vector<std::jthread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    const Range r = block_range(n, workers, w);
+    if (r.size() == 0) continue;
+    threads.emplace_back([r, &body] {
+      for (std::size_t i = r.lo; i < r.hi; ++i) body(i);
+    });
+  }
+}
+
+}  // namespace ppa

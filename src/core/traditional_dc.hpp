@@ -1,0 +1,79 @@
+// ppa/core/traditional_dc.hpp
+//
+// The *traditional* divide-and-conquer archetype (paper section 3.1.1,
+// Fig 1): the problem is split recursively, a new process is created at every
+// split until a threshold is reached, subproblems are solved concurrently,
+// and subsolutions are merged back up the tree. The paper uses this as the
+// baseline whose inefficiencies (data inspection at every split, concurrency
+// that varies over the run) motivate the one-deep variant; we keep it both as
+// that baseline (Fig 6) and as a generally useful skeleton.
+#pragma once
+
+#include <cstddef>
+#include <future>
+#include <utility>
+#include <vector>
+
+namespace ppa::dc {
+
+/// Recursive divide-and-conquer driver.
+///
+///   is_base(p)  -> bool                     problem small enough to solve directly
+///   base(p)     -> Solution                 base-case solve
+///   split(p)    -> std::vector<Problem>     split into >= 2 subproblems
+///   merge(v)    -> Solution                 combine subsolutions (v in split order)
+///
+/// `parallel_depth` levels of the recursion fork std::async tasks (so up to
+/// 2^parallel_depth concurrent leaves for binary splits — the Fig 1 process
+/// tree); below that the recursion is sequential. parallel_depth == 0 gives a
+/// fully sequential execution with identical results.
+template <typename Problem, typename Solution, typename IsBase, typename Base,
+          typename Split, typename Merge>
+Solution divide_and_conquer(Problem problem, const IsBase& is_base, const Base& base,
+                            const Split& split, const Merge& merge,
+                            int parallel_depth = 0) {
+  if (is_base(problem)) return base(std::move(problem));
+
+  std::vector<Problem> subproblems = split(std::move(problem));
+  std::vector<Solution> subsolutions(subproblems.size());
+
+  if (parallel_depth > 0 && subproblems.size() > 1) {
+    // Fork all but the first subproblem; solve the first on this thread.
+    std::vector<std::future<Solution>> futures;
+    futures.reserve(subproblems.size() - 1);
+    for (std::size_t i = 1; i < subproblems.size(); ++i) {
+      futures.push_back(std::async(
+          std::launch::async,
+          [&is_base, &base, &split, &merge, parallel_depth](Problem sub) {
+            return divide_and_conquer<Problem, Solution>(
+                std::move(sub), is_base, base, split, merge, parallel_depth - 1);
+          },
+          std::move(subproblems[i])));
+    }
+    subsolutions[0] = divide_and_conquer<Problem, Solution>(
+        std::move(subproblems[0]), is_base, base, split, merge, parallel_depth - 1);
+    for (std::size_t i = 1; i < subproblems.size(); ++i) {
+      subsolutions[i] = futures[i - 1].get();
+    }
+  } else {
+    for (std::size_t i = 0; i < subproblems.size(); ++i) {
+      subsolutions[i] = divide_and_conquer<Problem, Solution>(
+          std::move(subproblems[i]), is_base, base, split, merge, 0);
+    }
+  }
+  return merge(std::move(subsolutions));
+}
+
+/// Depth such that 2^depth >= nprocs: the fork depth that puts one leaf of a
+/// binary recursion on each of `nprocs` processors.
+[[nodiscard]] inline int fork_depth_for(int nprocs) {
+  int depth = 0;
+  int leaves = 1;
+  while (leaves < nprocs) {
+    leaves *= 2;
+    ++depth;
+  }
+  return depth;
+}
+
+}  // namespace ppa::dc

@@ -1,0 +1,151 @@
+// ppa/meshspectral/exchange.hpp
+//
+// Boundary exchange: neighboring processes swap edge strips to refresh each
+// other's ghost cells (paper Fig 8). The exchange is two-phase (x sweep, then
+// y sweep including the freshly filled x ghosts), which also fills the ghost
+// *corners* — so 9-point stencils are supported, not just 5-point ones.
+//
+// Sends never block (unbounded mailboxes), so the symmetric
+// send-then-receive schedule below cannot deadlock.
+#pragma once
+
+#include <cstddef>
+
+#include "meshspectral/grid2d.hpp"
+#include "mpl/process.hpp"
+#include "mpl/topology.hpp"
+
+namespace ppa::mesh {
+
+/// User-level tag block reserved for exchanges; apps should avoid
+/// [kExchangeTagBase, kExchangeTagBase+4).
+inline constexpr int kExchangeTagBase = 1 << 20;
+
+/// Refresh all ghost layers of `grid` (including corners). Non-periodic:
+/// ghosts at the global boundary are left untouched (boundary conditions are
+/// the application's responsibility).
+template <typename T>
+void exchange_boundaries(mpl::Process& p, const mpl::CartGrid2D& pgrid,
+                         Grid2D<T>& grid) {
+  const auto g = static_cast<std::ptrdiff_t>(grid.ghost());
+  if (g == 0 || pgrid.size() == 1) return;
+  const int rank = p.rank();
+  const auto nx = static_cast<std::ptrdiff_t>(grid.nx());
+  const auto ny = static_cast<std::ptrdiff_t>(grid.ny());
+
+  constexpr int kToNorth = kExchangeTagBase + 0;
+  constexpr int kToSouth = kExchangeTagBase + 1;
+  constexpr int kToWest = kExchangeTagBase + 2;
+  constexpr int kToEast = kExchangeTagBase + 3;
+
+  const int north = pgrid.north(rank);
+  const int south = pgrid.south(rank);
+  const int west = pgrid.west(rank);
+  const int east = pgrid.east(rank);
+
+  // Phase 1: x direction (rows). Send top/bottom interior strips.
+  if (north != mpl::kNoNeighbor) {
+    p.send(north, kToNorth, grid.pack_region(0, g, 0, ny));
+  }
+  if (south != mpl::kNoNeighbor) {
+    p.send(south, kToSouth, grid.pack_region(nx - g, nx, 0, ny));
+  }
+  if (south != mpl::kNoNeighbor) {
+    grid.unpack_region(nx, nx + g, 0, ny, p.recv<T>(south, kToNorth));
+  }
+  if (north != mpl::kNoNeighbor) {
+    grid.unpack_region(-g, 0, 0, ny, p.recv<T>(north, kToSouth));
+  }
+
+  // Phase 2: y direction (columns), including the x-ghost rows just filled,
+  // which propagates corner values diagonally.
+  if (west != mpl::kNoNeighbor) {
+    p.send(west, kToWest, grid.pack_region(-g, nx + g, 0, g));
+  }
+  if (east != mpl::kNoNeighbor) {
+    p.send(east, kToEast, grid.pack_region(-g, nx + g, ny - g, ny));
+  }
+  if (east != mpl::kNoNeighbor) {
+    grid.unpack_region(-g, nx + g, ny, ny + g, p.recv<T>(east, kToWest));
+  }
+  if (west != mpl::kNoNeighbor) {
+    grid.unpack_region(-g, nx + g, -g, 0, p.recv<T>(west, kToEast));
+  }
+}
+
+/// Per-axis periodicity selector for exchange_boundaries_mixed.
+struct Periodicity {
+  bool x = false;
+  bool y = false;
+};
+
+/// General boundary exchange with optional wrap-around per axis. At a
+/// periodic global boundary, ghosts are filled from the opposite side (by a
+/// message, or by local copy when a single process spans the axis); at a
+/// non-periodic boundary they are left untouched.
+template <typename T>
+void exchange_boundaries_mixed(mpl::Process& p, const mpl::CartGrid2D& pgrid,
+                               Grid2D<T>& grid, Periodicity periodic) {
+  const auto g = static_cast<std::ptrdiff_t>(grid.ghost());
+  if (g == 0) return;
+  const int rank = p.rank();
+  const auto [px, py] = pgrid.coords_of(rank);
+  const auto nx = static_cast<std::ptrdiff_t>(grid.nx());
+  const auto ny = static_cast<std::ptrdiff_t>(grid.ny());
+
+  constexpr int kToNorth = kExchangeTagBase + 0;
+  constexpr int kToSouth = kExchangeTagBase + 1;
+  constexpr int kToWest = kExchangeTagBase + 2;
+  constexpr int kToEast = kExchangeTagBase + 3;
+
+  const auto wrapped = [](int c, int n) { return ((c % n) + n) % n; };
+  const int north = periodic.x ? pgrid.rank_of(wrapped(px - 1, pgrid.npx()), py)
+                               : pgrid.north(rank);
+  const int south = periodic.x ? pgrid.rank_of(wrapped(px + 1, pgrid.npx()), py)
+                               : pgrid.south(rank);
+  const int west = periodic.y ? pgrid.rank_of(px, wrapped(py - 1, pgrid.npy()))
+                              : pgrid.west(rank);
+  const int east = periodic.y ? pgrid.rank_of(px, wrapped(py + 1, pgrid.npy()))
+                              : pgrid.east(rank);
+
+  // Phase 1: x direction.
+  if (north == rank) {  // periodic with a single process along x: local copy
+    grid.unpack_region(nx, nx + g, 0, ny, grid.pack_region(0, g, 0, ny));
+    grid.unpack_region(-g, 0, 0, ny, grid.pack_region(nx - g, nx, 0, ny));
+  } else {
+    if (north != mpl::kNoNeighbor) p.send(north, kToNorth, grid.pack_region(0, g, 0, ny));
+    if (south != mpl::kNoNeighbor) {
+      p.send(south, kToSouth, grid.pack_region(nx - g, nx, 0, ny));
+      grid.unpack_region(nx, nx + g, 0, ny, p.recv<T>(south, kToNorth));
+    }
+    if (north != mpl::kNoNeighbor) {
+      grid.unpack_region(-g, 0, 0, ny, p.recv<T>(north, kToSouth));
+    }
+  }
+
+  // Phase 2: y direction, ghost rows included (fills corners).
+  if (west == rank) {
+    grid.unpack_region(-g, nx + g, ny, ny + g, grid.pack_region(-g, nx + g, 0, g));
+    grid.unpack_region(-g, nx + g, -g, 0, grid.pack_region(-g, nx + g, ny - g, ny));
+  } else {
+    if (west != mpl::kNoNeighbor) p.send(west, kToWest, grid.pack_region(-g, nx + g, 0, g));
+    if (east != mpl::kNoNeighbor) {
+      p.send(east, kToEast, grid.pack_region(-g, nx + g, ny - g, ny));
+      grid.unpack_region(-g, nx + g, ny, ny + g, p.recv<T>(east, kToWest));
+    }
+    if (west != mpl::kNoNeighbor) {
+      grid.unpack_region(-g, nx + g, -g, 0, p.recv<T>(west, kToEast));
+    }
+  }
+}
+
+/// Periodic variant: wraps both axes (used by periodic-domain applications,
+/// e.g. the spectral code's axial direction). With a single process along an
+/// axis, ghosts are filled by local copy.
+template <typename T>
+void exchange_boundaries_periodic(mpl::Process& p, const mpl::CartGrid2D& pgrid,
+                                  Grid2D<T>& grid) {
+  exchange_boundaries_mixed(p, pgrid, grid, Periodicity{true, true});
+}
+
+}  // namespace ppa::mesh

@@ -1,0 +1,56 @@
+// ppa/meshspectral/global.hpp
+//
+// Replicated global variables. The archetype requires that "each process
+// have a duplicate copy of any global variables with their values kept
+// synchronized — any change to such a variable must be duplicated in each
+// process before the value of the variable is used again" (paper section
+// 4.2). Global<T> enforces that discipline: the value can only be (re)set by
+// operations that establish the same value on every process — a broadcast
+// from one rank, or a value that is the result of a reduction (asserted
+// consistent across ranks in debug verification mode).
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "mpl/process.hpp"
+
+namespace ppa::mesh {
+
+template <mpl::Wire T>
+class Global {
+ public:
+  Global() = default;
+  explicit Global(const T& initial) : value_(initial) {}
+
+  /// Read the replicated value.
+  [[nodiscard]] const T& get() const noexcept { return value_; }
+  operator const T&() const noexcept { return value_; }  // NOLINT(google-explicit-constructor)
+
+  /// Set from a value computed identically on all ranks (e.g. a reduction
+  /// result or compile-time constant). With `verify`, performs an allgather
+  /// and asserts copy consistency — the debugging aid the archetype's
+  /// transformation guidelines call for.
+  void store_replicated(mpl::Process& p, const T& value, bool verify = false) {
+    if (verify) {
+      const auto all = p.allgather_value(value);
+      for (const auto& v : all) {
+        assert(v == value && "Global::store_replicated: copies diverged");
+        (void)v;
+      }
+    }
+    value_ = value;
+  }
+
+  /// Set from one rank's value; re-establishes copy consistency via
+  /// broadcast ("when global data is computed or changed in one process
+  /// only ... a broadcast operation is required").
+  void store_from(mpl::Process& p, const T& value, int root = 0) {
+    value_ = p.broadcast_value(value, root);
+  }
+
+ private:
+  T value_{};
+};
+
+}  // namespace ppa::mesh

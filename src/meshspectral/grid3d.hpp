@@ -1,0 +1,199 @@
+// ppa/meshspectral/grid3d.hpp
+//
+// Local section of a 3-D grid distributed over a 3-D Cartesian process grid
+// with ghost layers — the substrate for the paper's three-dimensional mesh
+// archetype applications (the FDTD electromagnetics code of section 7.2).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "mpl/process.hpp"
+#include "mpl/topology.hpp"
+#include "support/ndarray.hpp"
+#include "support/partition.hpp"
+
+namespace ppa::mesh {
+
+template <typename T>
+class Grid3D {
+ public:
+  Grid3D() = default;
+
+  Grid3D(std::size_t gnx, std::size_t gny, std::size_t gnz,
+         const mpl::CartGrid3D& pgrid, int rank, std::size_t ghost = 1)
+      : global_{gnx, gny, gnz}, ghost_(ghost) {
+    const auto c = pgrid.coords_of(rank);
+    range_[0] = block_range(gnx, static_cast<std::size_t>(pgrid.npx()),
+                            static_cast<std::size_t>(c[0]));
+    range_[1] = block_range(gny, static_cast<std::size_t>(pgrid.npy()),
+                            static_cast<std::size_t>(c[1]));
+    range_[2] = block_range(gnz, static_cast<std::size_t>(pgrid.npz()),
+                            static_cast<std::size_t>(c[2]));
+    storage_.assign((range_[0].size() + 2 * ghost) * (range_[1].size() + 2 * ghost) *
+                        (range_[2].size() + 2 * ghost),
+                    T{});
+  }
+
+  /// Whole-grid (single-process) constructor.
+  Grid3D(std::size_t gnx, std::size_t gny, std::size_t gnz, std::size_t ghost = 1)
+      : Grid3D(gnx, gny, gnz, mpl::CartGrid3D{1, 1, 1}, 0, ghost) {}
+
+  [[nodiscard]] std::size_t nx() const noexcept { return range_[0].size(); }
+  [[nodiscard]] std::size_t ny() const noexcept { return range_[1].size(); }
+  [[nodiscard]] std::size_t nz() const noexcept { return range_[2].size(); }
+  [[nodiscard]] std::size_t global_nx() const noexcept { return global_[0]; }
+  [[nodiscard]] std::size_t global_ny() const noexcept { return global_[1]; }
+  [[nodiscard]] std::size_t global_nz() const noexcept { return global_[2]; }
+  [[nodiscard]] std::size_t ghost() const noexcept { return ghost_; }
+  [[nodiscard]] Range range(int axis) const noexcept {
+    return range_[static_cast<std::size_t>(axis)];
+  }
+
+  [[nodiscard]] std::size_t global_x(std::ptrdiff_t i) const noexcept {
+    return range_[0].lo + static_cast<std::size_t>(i);
+  }
+  [[nodiscard]] std::size_t global_y(std::ptrdiff_t j) const noexcept {
+    return range_[1].lo + static_cast<std::size_t>(j);
+  }
+  [[nodiscard]] std::size_t global_z(std::ptrdiff_t k) const noexcept {
+    return range_[2].lo + static_cast<std::size_t>(k);
+  }
+
+  T& operator()(std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k) noexcept {
+    return storage_[index(i, j, k)];
+  }
+  const T& operator()(std::ptrdiff_t i, std::ptrdiff_t j,
+                      std::ptrdiff_t k) const noexcept {
+    return storage_[index(i, j, k)];
+  }
+
+  void fill(const T& v) { storage_.assign(storage_.size(), v); }
+
+  template <typename F>
+  void init_from_global(F&& f) {
+    for (std::size_t i = 0; i < nx(); ++i)
+      for (std::size_t j = 0; j < ny(); ++j)
+        for (std::size_t k = 0; k < nz(); ++k)
+          (*this)(static_cast<std::ptrdiff_t>(i), static_cast<std::ptrdiff_t>(j),
+                  static_cast<std::ptrdiff_t>(k)) =
+              f(range_[0].lo + i, range_[1].lo + j, range_[2].lo + k);
+  }
+
+  /// Pack/unpack rectangular regions (ghost-relative coordinates allowed).
+  [[nodiscard]] std::vector<T> pack_region(std::ptrdiff_t i0, std::ptrdiff_t i1,
+                                           std::ptrdiff_t j0, std::ptrdiff_t j1,
+                                           std::ptrdiff_t k0, std::ptrdiff_t k1) const {
+    std::vector<T> buf;
+    buf.reserve(static_cast<std::size_t>((i1 - i0) * (j1 - j0) * (k1 - k0)));
+    for (std::ptrdiff_t i = i0; i < i1; ++i)
+      for (std::ptrdiff_t j = j0; j < j1; ++j)
+        for (std::ptrdiff_t k = k0; k < k1; ++k) buf.push_back((*this)(i, j, k));
+    return buf;
+  }
+  void unpack_region(std::ptrdiff_t i0, std::ptrdiff_t i1, std::ptrdiff_t j0,
+                     std::ptrdiff_t j1, std::ptrdiff_t k0, std::ptrdiff_t k1,
+                     const std::vector<T>& buf) {
+    assert(buf.size() == static_cast<std::size_t>((i1 - i0) * (j1 - j0) * (k1 - k0)));
+    std::size_t n = 0;
+    for (std::ptrdiff_t i = i0; i < i1; ++i)
+      for (std::ptrdiff_t j = j0; j < j1; ++j)
+        for (std::ptrdiff_t k = k0; k < k1; ++k) (*this)(i, j, k) = buf[n++];
+  }
+
+  /// Local interior fold.
+  template <typename Acc, typename F>
+  Acc fold_interior(Acc init, F&& combine) const {
+    Acc acc = std::move(init);
+    for (std::size_t i = 0; i < nx(); ++i)
+      for (std::size_t j = 0; j < ny(); ++j)
+        for (std::size_t k = 0; k < nz(); ++k)
+          acc = combine(std::move(acc),
+                        (*this)(static_cast<std::ptrdiff_t>(i),
+                                static_cast<std::ptrdiff_t>(j),
+                                static_cast<std::ptrdiff_t>(k)));
+    return acc;
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(std::ptrdiff_t i, std::ptrdiff_t j,
+                                  std::ptrdiff_t k) const noexcept {
+    const auto g = static_cast<std::ptrdiff_t>(ghost_);
+    assert(i >= -g && i < static_cast<std::ptrdiff_t>(nx()) + g);
+    assert(j >= -g && j < static_cast<std::ptrdiff_t>(ny()) + g);
+    assert(k >= -g && k < static_cast<std::ptrdiff_t>(nz()) + g);
+    const auto sy = static_cast<std::ptrdiff_t>(range_[1].size()) + 2 * g;
+    const auto sz = static_cast<std::ptrdiff_t>(range_[2].size()) + 2 * g;
+    return static_cast<std::size_t>(((i + g) * sy + (j + g)) * sz + (k + g));
+  }
+
+  std::size_t global_[3] = {0, 0, 0};
+  std::size_t ghost_ = 0;
+  Range range_[3];
+  std::vector<T> storage_;
+};
+
+/// Tag block for 3-D exchanges (distinct from the 2-D block).
+inline constexpr int kExchangeTagBase3D = (1 << 20) + 8;
+
+/// Refresh ghost layers of a 3-D grid: three sweeps (x, then y including x
+/// ghosts, then z including x/y ghosts), filling edges and corners too.
+/// Non-periodic; global-boundary ghosts are untouched.
+template <typename T>
+void exchange_boundaries(mpl::Process& p, const mpl::CartGrid3D& pgrid,
+                         Grid3D<T>& grid) {
+  const auto g = static_cast<std::ptrdiff_t>(grid.ghost());
+  if (g == 0 || pgrid.size() == 1) return;
+  const int rank = p.rank();
+  const auto nx = static_cast<std::ptrdiff_t>(grid.nx());
+  const auto ny = static_cast<std::ptrdiff_t>(grid.ny());
+  const auto nz = static_cast<std::ptrdiff_t>(grid.nz());
+
+  // Axis sweeps. lo/hi bounds widen as earlier axes' ghosts are filled.
+  std::ptrdiff_t ilo = 0, ihi = nx, jlo = 0, jhi = ny, klo = 0, khi = nz;
+  for (int axis = 0; axis < 3; ++axis) {
+    const int minus = pgrid.neighbor(rank, axis, -1);
+    const int plus = pgrid.neighbor(rank, axis, +1);
+    const int tag_minus = kExchangeTagBase3D + axis * 2;
+    const int tag_plus = kExchangeTagBase3D + axis * 2 + 1;
+    const std::ptrdiff_t n = (axis == 0) ? nx : (axis == 1) ? ny : nz;
+
+    // Region helpers for a slab [a, b) along `axis`, full extent elsewhere.
+    const auto pack = [&](std::ptrdiff_t a, std::ptrdiff_t b) {
+      switch (axis) {
+        case 0: return grid.pack_region(a, b, jlo, jhi, klo, khi);
+        case 1: return grid.pack_region(ilo, ihi, a, b, klo, khi);
+        default: return grid.pack_region(ilo, ihi, jlo, jhi, a, b);
+      }
+    };
+    const auto unpack = [&](std::ptrdiff_t a, std::ptrdiff_t b,
+                            const std::vector<T>& buf) {
+      switch (axis) {
+        case 0: grid.unpack_region(a, b, jlo, jhi, klo, khi, buf); break;
+        case 1: grid.unpack_region(ilo, ihi, a, b, klo, khi, buf); break;
+        default: grid.unpack_region(ilo, ihi, jlo, jhi, a, b, buf); break;
+      }
+    };
+
+    if (minus != mpl::kNoNeighbor) p.send(minus, tag_minus, pack(0, g));
+    if (plus != mpl::kNoNeighbor) p.send(plus, tag_plus, pack(n - g, n));
+    if (plus != mpl::kNoNeighbor) unpack(n, n + g, p.recv<T>(plus, tag_minus));
+    if (minus != mpl::kNoNeighbor) unpack(-g, 0, p.recv<T>(minus, tag_plus));
+
+    // Widen the swept axis for subsequent sweeps so edges/corners fill.
+    switch (axis) {
+      case 0:
+        ilo = -g;
+        ihi = nx + g;
+        break;
+      case 1:
+        jlo = -g;
+        jhi = ny + g;
+        break;
+      default: break;
+    }
+  }
+}
+
+}  // namespace ppa::mesh

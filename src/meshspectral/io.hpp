@@ -1,0 +1,95 @@
+// ppa/meshspectral/io.hpp
+//
+// File input/output operations for distributed grids (paper section 4.1:
+// "one possibility is to operate on all data sequentially in a single
+// process, which implies a data distribution in which all data is collected
+// in a single process"). We implement the gather-to-root strategy: sections
+// are collected at the root, assembled into a dense array, and written
+// there; reads scatter from the root.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "meshspectral/grid2d.hpp"
+#include "mpl/process.hpp"
+#include "mpl/topology.hpp"
+#include "support/ndarray.hpp"
+
+namespace ppa::mesh {
+
+/// Assemble the full grid on `root` from every process's interior section.
+/// Returns the dense global array on root, an empty array elsewhere.
+template <mpl::Wire T>
+Array2D<T> gather_grid(mpl::Process& p, const mpl::CartGrid2D& pgrid,
+                       const Grid2D<T>& grid, int root = 0) {
+  // Each rank contributes its x/y ranges plus its interior, flattened.
+  const std::uint64_t header[4] = {grid.x_range().lo, grid.x_range().hi,
+                                   grid.y_range().lo, grid.y_range().hi};
+  auto headers = p.gather_parts(std::span<const std::uint64_t>(header, 4), root);
+  const auto flat = grid.interior();
+  auto sections = p.gather_parts(flat.flat(), root);
+  if (p.rank() != root) return {};
+
+  Array2D<T> out(grid.global_nx(), grid.global_ny());
+  for (int r = 0; r < pgrid.size(); ++r) {
+    const auto& h = headers[static_cast<std::size_t>(r)];
+    const auto& s = sections[static_cast<std::size_t>(r)];
+    const std::size_t xlo = h[0], xhi = h[1], ylo = h[2], yhi = h[3];
+    std::size_t k = 0;
+    for (std::size_t i = xlo; i < xhi; ++i) {
+      for (std::size_t j = ylo; j < yhi; ++j) out(i, j) = s[k++];
+    }
+  }
+  return out;
+}
+
+/// Scatter a dense global array from `root` into each process's section
+/// interior. `dense` is ignored on non-root ranks.
+template <mpl::Wire T>
+void scatter_grid(mpl::Process& p, const mpl::CartGrid2D& pgrid,
+                  const Array2D<T>& dense, Grid2D<T>& grid, int root = 0) {
+  std::vector<std::vector<T>> parts;
+  if (p.rank() == root) {
+    parts.resize(static_cast<std::size_t>(pgrid.size()));
+    for (int r = 0; r < pgrid.size(); ++r) {
+      const auto [px, py] = pgrid.coords_of(r);
+      const Range xr = block_range(grid.global_nx(),
+                                   static_cast<std::size_t>(pgrid.npx()),
+                                   static_cast<std::size_t>(px));
+      const Range yr = block_range(grid.global_ny(),
+                                   static_cast<std::size_t>(pgrid.npy()),
+                                   static_cast<std::size_t>(py));
+      auto& part = parts[static_cast<std::size_t>(r)];
+      part.reserve(xr.size() * yr.size());
+      for (std::size_t i = xr.lo; i < xr.hi; ++i) {
+        for (std::size_t j = yr.lo; j < yr.hi; ++j) part.push_back(dense(i, j));
+      }
+    }
+  }
+  const auto mine = p.scatter(parts, root);
+  grid.unpack_region(0, static_cast<std::ptrdiff_t>(grid.nx()), 0,
+                     static_cast<std::ptrdiff_t>(grid.ny()), mine);
+}
+
+/// Write a grid to a simple text file from the root process (one row per
+/// line). A file I/O operation in the archetype's sense: gather + serial
+/// write in one process.
+template <mpl::Wire T>
+void write_grid_text(mpl::Process& p, const mpl::CartGrid2D& pgrid,
+                     const Grid2D<T>& grid, const std::string& path, int root = 0) {
+  const auto dense = gather_grid(p, pgrid, grid, root);
+  if (p.rank() != root) return;
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_grid_text: cannot open " + path);
+  for (std::size_t i = 0; i < dense.rows(); ++i) {
+    for (std::size_t j = 0; j < dense.cols(); ++j) {
+      out << dense(i, j) << (j + 1 == dense.cols() ? '\n' : ' ');
+    }
+  }
+}
+
+}  // namespace ppa::mesh

@@ -1,0 +1,13 @@
+// ppa/meshspectral/meshspectral.hpp — umbrella header for the mesh-spectral
+// archetype: distributed grids (2-D/3-D) with ghost boundaries, boundary
+// exchange, grid/reduction operations, row/column distributions with
+// redistribution, replicated globals, and file I/O.
+#pragma once
+
+#include "meshspectral/exchange.hpp"   // IWYU pragma: export
+#include "meshspectral/global.hpp"     // IWYU pragma: export
+#include "meshspectral/grid2d.hpp"     // IWYU pragma: export
+#include "meshspectral/grid3d.hpp"     // IWYU pragma: export
+#include "meshspectral/io.hpp"         // IWYU pragma: export
+#include "meshspectral/ops.hpp"        // IWYU pragma: export
+#include "meshspectral/rowcol.hpp"     // IWYU pragma: export

@@ -1,0 +1,87 @@
+// ppa/meshspectral/ops.hpp
+//
+// The mesh-spectral archetype's operation classes (paper section 4.1):
+//
+//   * grid operations     — same operation at every point, reading the point
+//                           and possibly neighbors (input and output variable
+//                           sets must be disjoint when neighbors are read);
+//   * reduction operations — combine all grid values into a single value,
+//                           available to *all* processes afterwards ("after
+//                           completion of a reduction operation all processes
+//                           have access to its result");
+//   * row/column operations — see rowcol.hpp;
+//   * file I/O operations  — see io.hpp.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "meshspectral/grid2d.hpp"
+#include "mpl/process.hpp"
+
+namespace ppa::mesh {
+
+/// Apply `f(i, j)` over the local interior (serial within the process; the
+/// concurrency is across processes). f receives *local* indices; use
+/// grid.global_x/global_y for global coordinates.
+template <typename T, typename F>
+void for_interior(const Grid2D<T>& grid, F&& f) {
+  const auto nx = static_cast<std::ptrdiff_t>(grid.nx());
+  const auto ny = static_cast<std::ptrdiff_t>(grid.ny());
+  for (std::ptrdiff_t i = 0; i < nx; ++i) {
+    for (std::ptrdiff_t j = 0; j < ny; ++j) f(i, j);
+  }
+}
+
+/// Pointwise grid operation: out(i,j) = f(in(i,j)). `out` and `in` may be
+/// the same grid (no neighbor reads, so aliasing is safe).
+template <typename T, typename U, typename F>
+void apply_pointwise(Grid2D<U>& out, const Grid2D<T>& in, F&& f) {
+  for_interior(in, [&](std::ptrdiff_t i, std::ptrdiff_t j) { out(i, j) = f(in(i, j)); });
+}
+
+/// Stencil grid operation: out(i,j) = f(in, i, j) where f may read neighbor
+/// points of `in` within the ghost width. Per the archetype's restriction,
+/// `out` must be distinct from `in` (checked by address).
+template <typename T, typename U, typename F>
+void apply_stencil(Grid2D<U>& out, const Grid2D<T>& in, F&& f) {
+  assert(static_cast<const void*>(&out) != static_cast<const void*>(&in) &&
+         "stencil operations require disjoint input and output grids");
+  for_interior(in, [&](std::ptrdiff_t i, std::ptrdiff_t j) { out(i, j) = f(in, i, j); });
+}
+
+/// Local (per-process) reduction over the interior.
+template <typename T, typename Acc, typename F>
+Acc local_reduce(const Grid2D<T>& grid, Acc init, F&& combine) {
+  Acc acc = std::move(init);
+  for_interior(grid, [&](std::ptrdiff_t i, std::ptrdiff_t j) {
+    acc = combine(std::move(acc), grid(i, j));
+  });
+  return acc;
+}
+
+/// Full reduction operation: local reduction followed by a combine across
+/// processes; every process receives the result (the archetype's
+/// postcondition, implemented with recursive doubling where possible).
+/// `combine` must be associative.
+template <typename T, typename Acc, typename LocalF, typename CombineOp>
+Acc reduce(mpl::Process& p, const Grid2D<T>& grid, Acc init, LocalF&& local_combine,
+           CombineOp&& combine) {
+  const Acc local = local_reduce(grid, std::move(init), local_combine);
+  return p.allreduce(local, combine);
+}
+
+/// Convenience reductions.
+template <typename T>
+T reduce_max(mpl::Process& p, const Grid2D<T>& grid, T init) {
+  return reduce(
+      p, grid, init, [](T a, const T& b) { return a < b ? b : a; },
+      mpl::MaxOp{});
+}
+template <typename T>
+T reduce_sum(mpl::Process& p, const Grid2D<T>& grid, T init = T{}) {
+  return reduce(
+      p, grid, init, [](T a, const T& b) { return a + b; }, mpl::SumOp{});
+}
+
+}  // namespace ppa::mesh

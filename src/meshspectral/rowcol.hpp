@@ -1,0 +1,204 @@
+// ppa/meshspectral/rowcol.hpp
+//
+// Row- and column-distributed matrices and the redistribution between them
+// (paper Fig 7). Row operations require data distributed by rows; column
+// operations require distribution by columns; composing the two requires an
+// all-to-all redistribution — the pattern at the heart of the 2-D FFT and
+// spectral applications.
+//
+// Storage convention: a RowDistributed matrix stores its local rows
+// contiguously (Array2D with shape rows_local x ncols). A ColDistributed
+// matrix stores its local *columns* contiguously (Array2D with shape
+// cols_local x nrows) so that column operations enjoy unit-stride access —
+// i.e. the local block is held transposed.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "mpl/process.hpp"
+#include "support/ndarray.hpp"
+#include "support/partition.hpp"
+
+namespace ppa::mesh {
+
+/// Matrix distributed by contiguous blocks of rows over P processes.
+template <mpl::Wire T>
+class RowDistributed {
+ public:
+  RowDistributed() = default;
+  RowDistributed(std::size_t nrows, std::size_t ncols, int nprocs, int rank)
+      : nrows_(nrows),
+        ncols_(ncols),
+        rows_(block_range(nrows, static_cast<std::size_t>(nprocs),
+                          static_cast<std::size_t>(rank))),
+        local_(rows_.size(), ncols) {}
+
+  [[nodiscard]] std::size_t nrows() const noexcept { return nrows_; }
+  [[nodiscard]] std::size_t ncols() const noexcept { return ncols_; }
+  /// Global row range owned by this process.
+  [[nodiscard]] Range rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t rows_local() const noexcept { return rows_.size(); }
+
+  /// Local row r (global row rows().lo + r), contiguous.
+  [[nodiscard]] std::span<T> row(std::size_t r) noexcept { return local_.row(r); }
+  [[nodiscard]] std::span<const T> row(std::size_t r) const noexcept {
+    return local_.row(r);
+  }
+  [[nodiscard]] T& at(std::size_t local_row, std::size_t col) noexcept {
+    return local_(local_row, col);
+  }
+  [[nodiscard]] const T& at(std::size_t local_row, std::size_t col) const noexcept {
+    return local_(local_row, col);
+  }
+  [[nodiscard]] Array2D<T>& local() noexcept { return local_; }
+  [[nodiscard]] const Array2D<T>& local() const noexcept { return local_; }
+
+  /// Fill from a function of global (row, col).
+  template <typename F>
+  void init_from_global(F&& f) {
+    for (std::size_t r = 0; r < rows_local(); ++r) {
+      for (std::size_t c = 0; c < ncols_; ++c) local_(r, c) = f(rows_.lo + r, c);
+    }
+  }
+
+ private:
+  std::size_t nrows_ = 0;
+  std::size_t ncols_ = 0;
+  Range rows_;
+  Array2D<T> local_;
+};
+
+/// Matrix distributed by contiguous blocks of columns; local block stored
+/// transposed (shape cols_local x nrows) for unit-stride column access.
+template <mpl::Wire T>
+class ColDistributed {
+ public:
+  ColDistributed() = default;
+  ColDistributed(std::size_t nrows, std::size_t ncols, int nprocs, int rank)
+      : nrows_(nrows),
+        ncols_(ncols),
+        cols_(block_range(ncols, static_cast<std::size_t>(nprocs),
+                          static_cast<std::size_t>(rank))),
+        local_(cols_.size(), nrows) {}
+
+  [[nodiscard]] std::size_t nrows() const noexcept { return nrows_; }
+  [[nodiscard]] std::size_t ncols() const noexcept { return ncols_; }
+  /// Global column range owned by this process.
+  [[nodiscard]] Range cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t cols_local() const noexcept { return cols_.size(); }
+
+  /// Local column c (global column cols().lo + c), contiguous.
+  [[nodiscard]] std::span<T> col(std::size_t c) noexcept { return local_.row(c); }
+  [[nodiscard]] std::span<const T> col(std::size_t c) const noexcept {
+    return local_.row(c);
+  }
+  [[nodiscard]] T& at(std::size_t row, std::size_t local_col) noexcept {
+    return local_(local_col, row);
+  }
+  [[nodiscard]] const T& at(std::size_t row, std::size_t local_col) const noexcept {
+    return local_(local_col, row);
+  }
+  [[nodiscard]] Array2D<T>& local() noexcept { return local_; }
+  [[nodiscard]] const Array2D<T>& local() const noexcept { return local_; }
+
+ private:
+  std::size_t nrows_ = 0;
+  std::size_t ncols_ = 0;
+  Range cols_;
+  Array2D<T> local_;
+};
+
+/// Redistribute rows -> columns (paper Fig 7). Every process sends to every
+/// other process the intersection of its rows with the destination's
+/// columns: one all-to-all with P*(P-1) messages.
+template <mpl::Wire T>
+void redistribute(mpl::Process& p, const RowDistributed<T>& in,
+                  ColDistributed<T>& out) {
+  const int np = p.size();
+  assert(in.nrows() == out.nrows() && in.ncols() == out.ncols());
+
+  std::vector<std::vector<T>> parts(static_cast<std::size_t>(np));
+  for (int q = 0; q < np; ++q) {
+    const Range qcols = block_range(in.ncols(), static_cast<std::size_t>(np),
+                                    static_cast<std::size_t>(q));
+    auto& part = parts[static_cast<std::size_t>(q)];
+    part.reserve(in.rows_local() * qcols.size());
+    // Pack column-major within the part so the receiver can append rows to
+    // its transposed storage directly: for each destination column, all of
+    // our rows in row order.
+    for (std::size_t c = qcols.lo; c < qcols.hi; ++c) {
+      for (std::size_t r = 0; r < in.rows_local(); ++r) {
+        part.push_back(in.at(r, c));
+      }
+    }
+  }
+  auto received = p.alltoall(std::move(parts));
+
+  // From source s we received, for each of our columns, s's rows (in global
+  // row order). Scatter into the transposed local block.
+  for (int s = 0; s < np; ++s) {
+    const Range srows = block_range(in.nrows(), static_cast<std::size_t>(np),
+                                    static_cast<std::size_t>(s));
+    const auto& buf = received[static_cast<std::size_t>(s)];
+    assert(buf.size() == srows.size() * out.cols_local());
+    std::size_t k = 0;
+    for (std::size_t c = 0; c < out.cols_local(); ++c) {
+      for (std::size_t r = srows.lo; r < srows.hi; ++r) {
+        out.at(r, c) = buf[k++];
+      }
+    }
+  }
+}
+
+/// Redistribute columns -> rows (inverse of the above).
+template <mpl::Wire T>
+void redistribute(mpl::Process& p, const ColDistributed<T>& in,
+                  RowDistributed<T>& out) {
+  const int np = p.size();
+  assert(in.nrows() == out.nrows() && in.ncols() == out.ncols());
+
+  std::vector<std::vector<T>> parts(static_cast<std::size_t>(np));
+  for (int q = 0; q < np; ++q) {
+    const Range qrows = block_range(in.nrows(), static_cast<std::size_t>(np),
+                                    static_cast<std::size_t>(q));
+    auto& part = parts[static_cast<std::size_t>(q)];
+    part.reserve(qrows.size() * in.cols_local());
+    // Pack row-major within the part: for each destination row, all of our
+    // columns in column order.
+    for (std::size_t r = qrows.lo; r < qrows.hi; ++r) {
+      for (std::size_t c = 0; c < in.cols_local(); ++c) {
+        part.push_back(in.at(r, c));
+      }
+    }
+  }
+  auto received = p.alltoall(std::move(parts));
+
+  for (int s = 0; s < np; ++s) {
+    const Range scols = block_range(in.ncols(), static_cast<std::size_t>(np),
+                                    static_cast<std::size_t>(s));
+    const auto& buf = received[static_cast<std::size_t>(s)];
+    assert(buf.size() == out.rows_local() * scols.size());
+    std::size_t k = 0;
+    for (std::size_t r = 0; r < out.rows_local(); ++r) {
+      for (std::size_t c = scols.lo; c < scols.hi; ++c) {
+        out.at(r, c) = buf[k++];
+      }
+    }
+  }
+}
+
+/// Assemble a row-distributed matrix on the root process (rank order gives
+/// global row order). Non-root processes receive an empty array.
+template <mpl::Wire T>
+Array2D<T> gather_matrix(mpl::Process& p, const RowDistributed<T>& mat, int root = 0) {
+  auto flat = p.gather(mat.local().flat(), root);
+  if (p.rank() != root) return {};
+  Array2D<T> out(mat.nrows(), mat.ncols());
+  assert(flat.size() == out.size());
+  std::copy(flat.begin(), flat.end(), out.data());
+  return out;
+}
+
+}  // namespace ppa::mesh

@@ -1,0 +1,27 @@
+#include "mpl/barrier.hpp"
+
+namespace ppa::mpl {
+
+void AbortableBarrier::arrive_and_wait() {
+  std::unique_lock lock(mutex_);
+  if (aborted_) throw WorldAborted{};
+  const std::uint64_t my_generation = generation_;
+  if (++arrived_ == participants_) {
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] { return generation_ != my_generation || aborted_; });
+  if (generation_ == my_generation && aborted_) throw WorldAborted{};
+}
+
+void AbortableBarrier::abort() {
+  {
+    const std::scoped_lock lock(mutex_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace ppa::mpl

@@ -1,0 +1,40 @@
+// ppa/mpl/barrier.hpp
+//
+// Reusable generation-counting barrier with abort support. The paper's
+// mesh-spectral operations "assume that they are preceded by the equivalent
+// of barrier synchronization"; this is that primitive. std::barrier cannot be
+// torn down while threads are parked in it, which we need for clean failure
+// propagation, hence a hand-rolled condition-variable barrier.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "mpl/mailbox.hpp"  // for WorldAborted
+
+namespace ppa::mpl {
+
+class AbortableBarrier {
+ public:
+  explicit AbortableBarrier(int participants) : participants_(participants) {}
+  AbortableBarrier(const AbortableBarrier&) = delete;
+  AbortableBarrier& operator=(const AbortableBarrier&) = delete;
+
+  /// Block until all participants have arrived. Throws WorldAborted if the
+  /// barrier is aborted before the group completes.
+  void arrive_and_wait();
+
+  /// Release all waiters with WorldAborted; subsequent arrivals also throw.
+  void abort();
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  const int participants_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace ppa::mpl

@@ -1,0 +1,60 @@
+#include "mpl/mailbox.hpp"
+
+#include <utility>
+
+namespace ppa::mpl {
+
+void Mailbox::push(Envelope env) {
+  {
+    const std::scoped_lock lock(mutex_);
+    queue_.push_back(std::move(env));
+  }
+  cv_.notify_all();
+}
+
+bool Mailbox::extract_locked(int source, int tag, Envelope& out) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (matches(*it, source, tag)) {
+      out = std::move(*it);
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+Envelope Mailbox::pop(int source, int tag) {
+  std::unique_lock lock(mutex_);
+  Envelope env;
+  bool extracted = false;
+  cv_.wait(lock, [&] {
+    if (extract_locked(source, tag, env)) {
+      extracted = true;
+      return true;
+    }
+    return aborted_;
+  });
+  if (!extracted) throw WorldAborted{};
+  return env;
+}
+
+bool Mailbox::try_pop(int source, int tag, Envelope& out) {
+  const std::scoped_lock lock(mutex_);
+  if (aborted_) throw WorldAborted{};
+  return extract_locked(source, tag, out);
+}
+
+std::size_t Mailbox::pending() const {
+  const std::scoped_lock lock(mutex_);
+  return queue_.size();
+}
+
+void Mailbox::abort() {
+  {
+    const std::scoped_lock lock(mutex_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace ppa::mpl

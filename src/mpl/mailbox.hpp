@@ -1,0 +1,63 @@
+// ppa/mpl/mailbox.hpp
+//
+// Per-rank incoming message queue. Senders push envelopes (never blocking —
+// queues are unbounded, which makes the collective algorithms trivially
+// deadlock-free); receivers block until a message matching (source, tag)
+// arrives. Matching respects FIFO order per (source, tag) pair, mirroring
+// MPI's non-overtaking guarantee.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+
+#include "mpl/message.hpp"
+
+namespace ppa::mpl {
+
+/// Thrown out of blocked operations when the SPMD world is torn down because
+/// some rank failed; see World::abort().
+struct WorldAborted : std::runtime_error {
+  WorldAborted() : std::runtime_error("ppa::mpl world aborted (a rank failed)") {}
+};
+
+class Mailbox {
+ public:
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Enqueue a message (called by the *sender's* thread).
+  void push(Envelope env);
+
+  /// Block until a message matching (source, tag) is available and return it.
+  /// Either selector may be a wildcard (kAnySource / kAnyTag).
+  /// Throws WorldAborted if the world is aborted while waiting.
+  Envelope pop(int source, int tag);
+
+  /// Non-blocking variant; returns false if no matching message is queued.
+  bool try_pop(int source, int tag, Envelope& out);
+
+  /// Number of queued messages (diagnostic).
+  [[nodiscard]] std::size_t pending() const;
+
+  /// Wake all blocked receivers with WorldAborted.
+  void abort();
+
+ private:
+  [[nodiscard]] static bool matches(const Envelope& env, int source, int tag) {
+    return (source == kAnySource || env.source == source) &&
+           (tag == kAnyTag || env.tag == tag);
+  }
+  /// Find first match in FIFO order; queue_ mutex must be held.
+  bool extract_locked(int source, int tag, Envelope& out);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Envelope> queue_;
+  bool aborted_ = false;
+};
+
+}  // namespace ppa::mpl

@@ -1,0 +1,52 @@
+// ppa/mpl/message.hpp
+//
+// Wire format for the message-passing layer. Messages are deep copies: a
+// sent payload is serialized into a byte buffer owned by the envelope, so two
+// "processes" (threads) never share mutable state — this preserves the
+// distributed-memory discipline of the machines the paper targets (Intel
+// Delta / Paragon / IBM SP with NX, Fortran M, or MPI).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace ppa::mpl {
+
+/// Types that can cross the wire: anything memcpy-safe.
+template <typename T>
+concept Wire = std::is_trivially_copyable_v<T>;
+
+/// Wildcard selectors for recv.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -2147483647;
+
+/// A message in flight: source rank, tag, and an owning byte payload.
+/// The receiver reconstructs the element count from the payload size.
+struct Envelope {
+  int source = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Serialize a span of trivially copyable values.
+template <Wire T>
+std::vector<std::byte> pack(std::span<const T> data) {
+  std::vector<std::byte> bytes(data.size_bytes());
+  if (!bytes.empty()) std::memcpy(bytes.data(), data.data(), bytes.size());
+  return bytes;
+}
+
+/// Deserialize a byte buffer produced by pack<T>().
+template <Wire T>
+std::vector<T> unpack(std::span<const std::byte> bytes) {
+  assert(bytes.size() % sizeof(T) == 0 && "payload size mismatch for type");
+  std::vector<T> data(bytes.size() / sizeof(T));
+  if (!bytes.empty()) std::memcpy(data.data(), bytes.data(), bytes.size());
+  return data;
+}
+
+}  // namespace ppa::mpl

@@ -1,0 +1,406 @@
+// ppa/mpl/process.hpp
+//
+// The per-rank handle given to each SPMD process body. Provides tagged
+// point-to-point send/recv plus the collective operations the two archetypes
+// require (paper sections 3.4 and 4.3):
+//
+//   one-deep divide and conquer:  all-to-all (split/merge redistribution),
+//                                 gather + broadcast or allgather (parameter
+//                                 computation), broadcast (parameter
+//                                 distribution)
+//   mesh-spectral:                grid redistribution (all-to-all), boundary
+//                                 exchange (point-to-point, see meshspectral/),
+//                                 broadcast of global data, reductions via
+//                                 recursive doubling (paper Fig 9)
+//
+// Collective calls must be issued by all ranks in the same order (the SPMD
+// discipline); internal message tags are derived from a per-rank collective
+// sequence number, which therefore agrees across ranks and cannot collide
+// with user tags (user tags must be non-negative; internal tags are negative).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "mpl/message.hpp"
+#include "mpl/world.hpp"
+
+namespace ppa::mpl {
+
+/// Common reduction operators (associative and commutative).
+struct MaxOp {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return a < b ? b : a;
+  }
+};
+struct MinOp {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return b < a ? b : a;
+  }
+};
+struct SumOp {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return a + b;
+  }
+};
+
+class Process {
+ public:
+  Process(World& world, int rank) : world_(world), rank_(rank) {
+    assert(rank >= 0 && rank < world.size());
+  }
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept { return world_.size(); }
+  [[nodiscard]] World& world() noexcept { return world_; }
+  [[nodiscard]] bool is_root(int root = 0) const noexcept { return rank_ == root; }
+
+  // --- point-to-point -----------------------------------------------------
+
+  /// Send `data` to `dest` with user tag `tag` (must be >= 0). Never blocks.
+  template <Wire T>
+  void send(int dest, int tag, std::span<const T> data) {
+    assert(tag >= 0 && "user tags must be non-negative");
+    send_raw(dest, tag, pack(data));
+  }
+  template <Wire T>
+  void send(int dest, int tag, const std::vector<T>& data) {
+    send<T>(dest, tag, std::span<const T>(data));
+  }
+  /// Send a single value.
+  template <Wire T>
+  void send_value(int dest, int tag, const T& value) {
+    send<T>(dest, tag, std::span<const T>(&value, 1));
+  }
+
+  /// Block until a message matching (source, tag) arrives; returns payload.
+  template <Wire T>
+  std::vector<T> recv(int source, int tag) {
+    const Envelope env = world_.mailbox(rank_).pop(source, tag);
+    return unpack<T>(env.payload);
+  }
+  /// Receive a message known to carry exactly one value.
+  template <Wire T>
+  T recv_value(int source, int tag) {
+    auto v = recv<T>(source, tag);
+    assert(v.size() == 1);
+    return v.front();
+  }
+  /// Receive returning the actual source (useful with kAnySource).
+  template <Wire T>
+  std::pair<int, std::vector<T>> recv_any(int source, int tag) {
+    Envelope env = world_.mailbox(rank_).pop(source, tag);
+    return {env.source, unpack<T>(env.payload)};
+  }
+
+  /// Combined send+recv (safe in any order because sends never block).
+  template <Wire T>
+  std::vector<T> sendrecv(int dest, int send_tag, std::span<const T> data,
+                          int source, int recv_tag) {
+    send(dest, send_tag, data);
+    return recv<T>(source, recv_tag);
+  }
+
+  // --- collectives ----------------------------------------------------------
+
+  /// Barrier synchronization across all ranks.
+  void barrier() {
+    world_.trace().count_op(Op::kBarrier);
+    world_.barrier().arrive_and_wait();
+  }
+
+  /// Binomial-tree broadcast of a buffer from `root`. On non-root ranks the
+  /// contents of `data` are replaced; sizes need not match beforehand.
+  template <Wire T>
+  void broadcast(std::vector<T>& data, int root = 0) {
+    world_.trace().count_op(Op::kBroadcast);
+    const int tag = next_internal_tag();
+    broadcast_impl(data, root, tag);
+  }
+  /// Broadcast a single value from root; returns the value on every rank.
+  template <Wire T>
+  T broadcast_value(T value, int root = 0) {
+    std::vector<T> buf{value};
+    broadcast(buf, root);
+    return buf.front();
+  }
+
+  /// Gather per-rank blocks to `root`, as one vector per source rank
+  /// (gatherv semantics: blocks may have different sizes). Non-root ranks
+  /// receive an empty result.
+  template <Wire T>
+  std::vector<std::vector<T>> gather_parts(std::span<const T> local, int root = 0) {
+    world_.trace().count_op(Op::kGather);
+    const int tag = next_internal_tag();
+    return gather_parts_impl(local, root, tag);
+  }
+  /// Gather and concatenate in rank order at root.
+  template <Wire T>
+  std::vector<T> gather(std::span<const T> local, int root = 0) {
+    auto parts = gather_parts(local, root);
+    return concat(std::move(parts));
+  }
+
+  /// All ranks obtain every rank's block (gather at root + broadcast).
+  template <Wire T>
+  std::vector<std::vector<T>> allgather_parts(std::span<const T> local) {
+    world_.trace().count_op(Op::kAllgather);
+    const int tag_gather = next_internal_tag();
+    const int tag_sizes = next_internal_tag();
+    const int tag_data = next_internal_tag();
+    auto parts = gather_parts_impl(local, 0, tag_gather);
+
+    // Broadcast sizes, then the flattened data.
+    std::vector<std::uint64_t> sizes;
+    std::vector<T> flat;
+    if (rank_ == 0) {
+      for (const auto& p : parts) {
+        sizes.push_back(p.size());
+        flat.insert(flat.end(), p.begin(), p.end());
+      }
+    }
+    broadcast_impl(sizes, 0, tag_sizes);
+    broadcast_impl(flat, 0, tag_data);
+
+    std::vector<std::vector<T>> out;
+    out.reserve(sizes.size());
+    std::size_t offset = 0;
+    for (const auto sz : sizes) {
+      out.emplace_back(flat.begin() + static_cast<std::ptrdiff_t>(offset),
+                       flat.begin() + static_cast<std::ptrdiff_t>(offset + sz));
+      offset += sz;
+    }
+    return out;
+  }
+  /// Allgather concatenated in rank order.
+  template <Wire T>
+  std::vector<T> allgather(std::span<const T> local) {
+    return concat(allgather_parts(local));
+  }
+  template <Wire T>
+  std::vector<T> allgather_value(const T& value) {
+    return concat(allgather_parts(std::span<const T>(&value, 1)));
+  }
+
+  /// Root distributes parts[j] to rank j; returns this rank's part.
+  /// `parts` is ignored on non-root ranks.
+  template <Wire T>
+  std::vector<T> scatter(const std::vector<std::vector<T>>& parts, int root = 0) {
+    world_.trace().count_op(Op::kScatter);
+    const int tag = next_internal_tag();
+    if (rank_ == root) {
+      assert(static_cast<int>(parts.size()) == size());
+      for (int dest = 0; dest < size(); ++dest) {
+        if (dest == root) continue;
+        send_raw(dest, tag, pack(std::span<const T>(parts[static_cast<std::size_t>(dest)])));
+      }
+      return parts[static_cast<std::size_t>(root)];
+    }
+    return recv_internal<T>(root, tag);
+  }
+
+  /// Binomial-tree reduction to `root`. `op` must be associative; the
+  /// combination order is deterministic for a given world size.
+  template <Wire T, typename BinaryOp>
+  T reduce(const T& local, BinaryOp op, int root = 0) {
+    world_.trace().count_op(Op::kReduce);
+    const int tag = next_internal_tag();
+    return reduce_impl(local, op, root, tag);
+  }
+
+  /// Allreduce. For power-of-two world sizes this is textbook recursive
+  /// doubling (the paper's Fig 9); otherwise reduce-to-root plus broadcast.
+  template <Wire T, typename BinaryOp>
+  T allreduce(const T& local, BinaryOp op) {
+    world_.trace().count_op(Op::kAllreduce);
+    const int p = size();
+    if ((p & (p - 1)) == 0) {
+      const int tag = next_internal_tag();
+      T acc = local;
+      for (int mask = 1; mask < p; mask <<= 1) {
+        const int partner = rank_ ^ mask;
+        send_raw(partner, tag, pack(std::span<const T>(&acc, 1)));
+        const T other = recv_internal_value<T>(partner, tag);
+        acc = op(acc, other);
+      }
+      return acc;
+    }
+    const int tag_reduce = next_internal_tag();
+    const int tag_bcast = next_internal_tag();
+    T total = reduce_impl(local, op, 0, tag_reduce);
+    std::vector<T> buf{total};
+    broadcast_impl(buf, 0, tag_bcast);
+    return buf.front();
+  }
+
+  /// Element-wise allreduce over equal-length vectors.
+  template <Wire T, typename BinaryOp>
+  std::vector<T> allreduce_vec(std::span<const T> local, BinaryOp op) {
+    world_.trace().count_op(Op::kAllreduce);
+    const int tag_gather = next_internal_tag();
+    const int tag_bcast = next_internal_tag();
+    auto parts = gather_parts_impl(local, 0, tag_gather);
+    std::vector<T> acc;
+    if (rank_ == 0) {
+      acc = std::move(parts.front());
+      for (std::size_t r = 1; r < parts.size(); ++r) {
+        assert(parts[r].size() == acc.size());
+        for (std::size_t i = 0; i < acc.size(); ++i) acc[i] = op(acc[i], parts[r][i]);
+      }
+    }
+    broadcast_impl(acc, 0, tag_bcast);
+    return acc;
+  }
+
+  /// Personalized all-to-all exchange ("every process p sending to every
+  /// other process q a distinct portion of its data" — paper section 3.4).
+  /// parts[j] is this rank's contribution destined for rank j; the result's
+  /// element [i] is the part received from rank i (with [rank()] moved from
+  /// the input, not sent through the mailbox).
+  template <Wire T>
+  std::vector<std::vector<T>> alltoall(std::vector<std::vector<T>> parts) {
+    world_.trace().count_op(Op::kAlltoall);
+    assert(static_cast<int>(parts.size()) == size());
+    const int tag = next_internal_tag();
+    const int p = size();
+    for (int dest = 0; dest < p; ++dest) {
+      if (dest == rank_) continue;
+      send_raw(dest, tag, pack(std::span<const T>(parts[static_cast<std::size_t>(dest)])));
+    }
+    std::vector<std::vector<T>> received(static_cast<std::size_t>(p));
+    received[static_cast<std::size_t>(rank_)] =
+        std::move(parts[static_cast<std::size_t>(rank_)]);
+    for (int src = 0; src < p; ++src) {
+      if (src == rank_) continue;
+      received[static_cast<std::size_t>(src)] = recv_internal<T>(src, tag);
+    }
+    return received;
+  }
+
+  /// Exclusive prefix scan (linear chain). Rank 0 receives `init`; rank r
+  /// receives op(init, local_0, ..., local_{r-1}).
+  template <Wire T, typename BinaryOp>
+  T exscan(const T& local, BinaryOp op, const T& init = T{}) {
+    world_.trace().count_op(Op::kScan);
+    const int tag = next_internal_tag();
+    T acc = init;
+    if (rank_ > 0) acc = recv_internal_value<T>(rank_ - 1, tag);
+    if (rank_ + 1 < size()) {
+      const T forward = op(acc, local);
+      send_raw(rank_ + 1, tag, pack(std::span<const T>(&forward, 1)));
+    }
+    return acc;
+  }
+
+ private:
+  // Raw send with tracing; used by both user sends and collectives.
+  void send_raw(int dest, int tag, std::vector<std::byte> payload) {
+    world_.trace().count_message(payload.size());
+    world_.mailbox(dest).push(Envelope{rank_, tag, std::move(payload)});
+  }
+
+  template <Wire T>
+  std::vector<T> recv_internal(int source, int tag) {
+    const Envelope env = world_.mailbox(rank_).pop(source, tag);
+    return unpack<T>(env.payload);
+  }
+  template <Wire T>
+  T recv_internal_value(int source, int tag) {
+    auto v = recv_internal<T>(source, tag);
+    assert(v.size() == 1);
+    return v.front();
+  }
+
+  /// Internal tags are negative and advance per collective call; SPMD order
+  /// guarantees agreement across ranks. 2^30 tags before wrap-around.
+  int next_internal_tag() noexcept {
+    collective_seq_ = (collective_seq_ + 1) & 0x3FFFFFFF;
+    return -1 - static_cast<int>(collective_seq_);
+  }
+
+  template <Wire T>
+  void broadcast_impl(std::vector<T>& data, int root, int tag) {
+    const int p = size();
+    if (p == 1) return;
+    const int vrank = (rank_ - root + p) % p;
+    int mask = 1;
+    while (mask < p) {
+      if (vrank & mask) {
+        const int src = (vrank - mask + root) % p;
+        data = recv_internal<T>(src, tag);
+        break;
+      }
+      mask <<= 1;
+    }
+    mask >>= 1;
+    while (mask > 0) {
+      if (vrank + mask < p) {
+        const int dest = (vrank + mask + root) % p;
+        send_raw(dest, tag, pack(std::span<const T>(data)));
+      }
+      mask >>= 1;
+    }
+  }
+
+  template <Wire T>
+  std::vector<std::vector<T>> gather_parts_impl(std::span<const T> local, int root,
+                                                int tag) {
+    const int p = size();
+    if (rank_ != root) {
+      send_raw(root, tag, pack(local));
+      return {};
+    }
+    std::vector<std::vector<T>> parts(static_cast<std::size_t>(p));
+    parts[static_cast<std::size_t>(root)].assign(local.begin(), local.end());
+    for (int src = 0; src < p; ++src) {
+      if (src == root) continue;
+      parts[static_cast<std::size_t>(src)] = recv_internal<T>(src, tag);
+    }
+    return parts;
+  }
+
+  template <Wire T, typename BinaryOp>
+  T reduce_impl(const T& local, BinaryOp op, int root, int tag) {
+    const int p = size();
+    const int vrank = (rank_ - root + p) % p;
+    T acc = local;
+    for (int mask = 1; mask < p; mask <<= 1) {
+      if (vrank & mask) {
+        const int dest = (vrank - mask + root) % p;
+        send_raw(dest, tag, pack(std::span<const T>(&acc, 1)));
+        return acc;  // contribution handed off; value only meaningful at root
+      }
+      if (vrank + mask < p) {
+        const int src = (vrank + mask + root) % p;
+        const T other = recv_internal_value<T>(src, tag);
+        acc = op(acc, other);
+      }
+    }
+    return acc;
+  }
+
+  template <Wire T>
+  static std::vector<T> concat(std::vector<std::vector<T>> parts) {
+    std::size_t total = 0;
+    for (const auto& p : parts) total += p.size();
+    std::vector<T> out;
+    out.reserve(total);
+    for (auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+    return out;
+  }
+
+  World& world_;
+  int rank_;
+  std::uint32_t collective_seq_ = 0;
+};
+
+}  // namespace ppa::mpl

@@ -1,0 +1,74 @@
+// ppa/mpl/spmd.hpp
+//
+// The SPMD runtime: spawn N "processes" (threads with private mailboxes),
+// run the same body in each, join, and propagate failures. This is the
+// archetype-supplied "code skeleton needed to create and connect the N
+// processes" (paper sections 3.5.3 and 5.3).
+//
+// Failure semantics: if any rank throws, the world is aborted — every other
+// rank blocked in a recv/barrier/collective is released with WorldAborted —
+// and the first non-WorldAborted exception is rethrown in the caller.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "mpl/process.hpp"
+#include "mpl/world.hpp"
+
+namespace ppa::mpl {
+
+/// Run `body(process)` on `nprocs` ranks; returns the world's communication
+/// trace for the run.
+template <typename Body>
+TraceSnapshot spmd_run(int nprocs, Body&& body) {
+  World world(nprocs);
+  std::vector<std::exception_ptr> failures(static_cast<std::size_t>(nprocs));
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(static_cast<std::size_t>(nprocs));
+    for (int r = 0; r < nprocs; ++r) {
+      threads.emplace_back([&world, &failures, &body, r] {
+        Process process(world, r);
+        try {
+          body(process);
+        } catch (...) {
+          failures[static_cast<std::size_t>(r)] = std::current_exception();
+          world.abort();
+        }
+      });
+    }
+  }  // jthreads join here
+
+  // Prefer reporting a root-cause exception over secondary WorldAborted ones.
+  std::exception_ptr first_aborted;
+  for (const auto& failure : failures) {
+    if (!failure) continue;
+    try {
+      std::rethrow_exception(failure);
+    } catch (const WorldAborted&) {
+      if (!first_aborted) first_aborted = failure;
+    } catch (...) {
+      std::rethrow_exception(failure);
+    }
+  }
+  if (first_aborted) std::rethrow_exception(first_aborted);
+  return world.trace().snapshot();
+}
+
+/// Run an SPMD computation in which each rank produces a result; returns the
+/// per-rank results in rank order (and the trace via out-param if given).
+template <typename R, typename Body>
+std::vector<R> spmd_collect(int nprocs, Body&& body, TraceSnapshot* trace = nullptr) {
+  std::vector<R> results(static_cast<std::size_t>(nprocs));
+  auto snapshot = spmd_run(nprocs, [&](Process& p) {
+    results[static_cast<std::size_t>(p.rank())] = body(p);
+  });
+  if (trace != nullptr) *trace = snapshot;
+  return results;
+}
+
+}  // namespace ppa::mpl

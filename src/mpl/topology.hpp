@@ -1,0 +1,122 @@
+// ppa/mpl/topology.hpp
+//
+// Cartesian process topologies for the mesh-spectral archetype: ranks are
+// arranged as a 2-D (NPX x NPY) or 3-D grid so that each local grid section
+// has well-defined neighbor processes for boundary exchange (paper Fig 8).
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cmath>
+
+namespace ppa::mpl {
+
+inline constexpr int kNoNeighbor = -1;
+
+/// 2-D process grid. Ranks are laid out row-major: rank = px * npy + py,
+/// where px indexes the first (row/x) dimension.
+class CartGrid2D {
+ public:
+  CartGrid2D(int npx, int npy) : npx_(npx), npy_(npy) {
+    assert(npx >= 1 && npy >= 1);
+  }
+
+  /// Factor `nprocs` into the most nearly square npx x npy grid (npx >= npy).
+  static CartGrid2D near_square(int nprocs) {
+    assert(nprocs >= 1);
+    int best = 1;
+    for (int d = 1; d * d <= nprocs; ++d) {
+      if (nprocs % d == 0) best = d;
+    }
+    return CartGrid2D{nprocs / best, best};
+  }
+
+  [[nodiscard]] int npx() const noexcept { return npx_; }
+  [[nodiscard]] int npy() const noexcept { return npy_; }
+  [[nodiscard]] int size() const noexcept { return npx_ * npy_; }
+
+  [[nodiscard]] int rank_of(int px, int py) const noexcept {
+    assert(px >= 0 && px < npx_ && py >= 0 && py < npy_);
+    return px * npy_ + py;
+  }
+  [[nodiscard]] std::array<int, 2> coords_of(int rank) const noexcept {
+    assert(rank >= 0 && rank < size());
+    return {rank / npy_, rank % npy_};
+  }
+
+  /// Neighbor ranks (kNoNeighbor at a non-periodic boundary).
+  [[nodiscard]] int north(int rank) const noexcept {  // px - 1
+    auto [px, py] = coords_of(rank);
+    return px > 0 ? rank_of(px - 1, py) : kNoNeighbor;
+  }
+  [[nodiscard]] int south(int rank) const noexcept {  // px + 1
+    auto [px, py] = coords_of(rank);
+    return px + 1 < npx_ ? rank_of(px + 1, py) : kNoNeighbor;
+  }
+  [[nodiscard]] int west(int rank) const noexcept {  // py - 1
+    auto [px, py] = coords_of(rank);
+    return py > 0 ? rank_of(px, py - 1) : kNoNeighbor;
+  }
+  [[nodiscard]] int east(int rank) const noexcept {  // py + 1
+    auto [px, py] = coords_of(rank);
+    return py + 1 < npy_ ? rank_of(px, py + 1) : kNoNeighbor;
+  }
+
+ private:
+  int npx_;
+  int npy_;
+};
+
+/// 3-D process grid; rank = (px * npy + py) * npz + pz.
+class CartGrid3D {
+ public:
+  CartGrid3D(int npx, int npy, int npz) : npx_(npx), npy_(npy), npz_(npz) {
+    assert(npx >= 1 && npy >= 1 && npz >= 1);
+  }
+
+  /// Factor nprocs into a near-cubic grid (npx >= npy >= npz).
+  static CartGrid3D near_cubic(int nprocs) {
+    assert(nprocs >= 1);
+    int bz = 1, by = 1;
+    // Choose npz as the largest factor <= cbrt, then npy similarly.
+    for (int d = 1; d * d * d <= nprocs; ++d) {
+      if (nprocs % d == 0) bz = d;
+    }
+    const int rest = nprocs / bz;
+    for (int d = 1; d * d <= rest; ++d) {
+      if (rest % d == 0) by = d;
+    }
+    return CartGrid3D{rest / by, by, bz};
+  }
+
+  [[nodiscard]] int npx() const noexcept { return npx_; }
+  [[nodiscard]] int npy() const noexcept { return npy_; }
+  [[nodiscard]] int npz() const noexcept { return npz_; }
+  [[nodiscard]] int size() const noexcept { return npx_ * npy_ * npz_; }
+
+  [[nodiscard]] int rank_of(int px, int py, int pz) const noexcept {
+    assert(px >= 0 && px < npx_ && py >= 0 && py < npy_ && pz >= 0 && pz < npz_);
+    return (px * npy_ + py) * npz_ + pz;
+  }
+  [[nodiscard]] std::array<int, 3> coords_of(int rank) const noexcept {
+    assert(rank >= 0 && rank < size());
+    return {rank / (npy_ * npz_), (rank / npz_) % npy_, rank % npz_};
+  }
+
+  /// Neighbor along axis (0=x,1=y,2=z) in direction dir (-1 or +1).
+  [[nodiscard]] int neighbor(int rank, int axis, int dir) const noexcept {
+    auto c = coords_of(rank);
+    const std::array<int, 3> dims{npx_, npy_, npz_};
+    const int v = c[static_cast<std::size_t>(axis)] + dir;
+    if (v < 0 || v >= dims[static_cast<std::size_t>(axis)]) return kNoNeighbor;
+    c[static_cast<std::size_t>(axis)] = v;
+    return rank_of(c[0], c[1], c[2]);
+  }
+
+ private:
+  int npx_;
+  int npy_;
+  int npz_;
+};
+
+}  // namespace ppa::mpl

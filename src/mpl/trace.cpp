@@ -1,0 +1,53 @@
+#include "mpl/trace.hpp"
+
+#include <sstream>
+
+namespace ppa::mpl {
+
+std::string op_name(Op op) {
+  switch (op) {
+    case Op::kSend: return "send";
+    case Op::kBarrier: return "barrier";
+    case Op::kBroadcast: return "broadcast";
+    case Op::kGather: return "gather";
+    case Op::kAllgather: return "allgather";
+    case Op::kScatter: return "scatter";
+    case Op::kReduce: return "reduce";
+    case Op::kAllreduce: return "allreduce";
+    case Op::kAlltoall: return "alltoall";
+    case Op::kScan: return "scan";
+    case Op::kCount_: break;
+  }
+  return "unknown";
+}
+
+void CommTrace::reset() {
+  messages_.store(0, std::memory_order_relaxed);
+  bytes_.store(0, std::memory_order_relaxed);
+  for (auto& c : ops_) c.store(0, std::memory_order_relaxed);
+}
+
+TraceSnapshot CommTrace::snapshot() const {
+  TraceSnapshot s;
+  s.messages = messages_.load(std::memory_order_relaxed);
+  s.bytes = bytes_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kOpCount; ++i) {
+    s.ops[static_cast<std::size_t>(i)] =
+        ops_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+std::string TraceSnapshot::to_string() const {
+  std::ostringstream os;
+  os << "p2p messages: " << messages << ", payload bytes: " << bytes << "\n";
+  for (int i = 0; i < kOpCount; ++i) {
+    const auto count = ops[static_cast<std::size_t>(i)];
+    if (count > 0) {
+      os << "  " << op_name(static_cast<Op>(i)) << ": " << count << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace ppa::mpl

@@ -1,0 +1,71 @@
+// ppa/mpl/trace.hpp
+//
+// Communication tracing. The paper's central claim is that an archetype
+// *implies* a communication structure ("It is straightforward to infer the
+// interprocess communication required ... from dataflow patterns"); the
+// tracer lets tests assert that the implementation realizes exactly the
+// predicted pattern (e.g. one all-to-all during the one-deep merge phase, one
+// boundary exchange plus one allreduce per Jacobi step).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace ppa::mpl {
+
+/// Categories of traced events. kSend counts every point-to-point message
+/// (including those issued internally by collectives); the collective
+/// counters count one event per *participating rank* per call.
+enum class Op : int {
+  kSend = 0,
+  kBarrier,
+  kBroadcast,
+  kGather,
+  kAllgather,
+  kScatter,
+  kReduce,
+  kAllreduce,
+  kAlltoall,
+  kScan,
+  kCount_  // sentinel
+};
+
+inline constexpr int kOpCount = static_cast<int>(Op::kCount_);
+
+[[nodiscard]] std::string op_name(Op op);
+
+/// Immutable snapshot of trace counters.
+struct TraceSnapshot {
+  std::uint64_t messages = 0;    ///< total point-to-point messages
+  std::uint64_t bytes = 0;       ///< total payload bytes
+  std::array<std::uint64_t, kOpCount> ops{};
+
+  [[nodiscard]] std::uint64_t op(Op o) const {
+    return ops[static_cast<std::size_t>(o)];
+  }
+  /// Human-readable multi-line summary.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Thread-safe counters shared by all ranks of a World.
+class CommTrace {
+ public:
+  void count_message(std::uint64_t payload_bytes) {
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(payload_bytes, std::memory_order_relaxed);
+  }
+  void count_op(Op op) {
+    ops_[static_cast<std::size_t>(op)].fetch_add(1, std::memory_order_relaxed);
+  }
+  void reset();
+  [[nodiscard]] TraceSnapshot snapshot() const;
+
+ private:
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  std::array<std::atomic<std::uint64_t>, kOpCount> ops_{};
+};
+
+}  // namespace ppa::mpl

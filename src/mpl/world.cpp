@@ -1,0 +1,19 @@
+#include "mpl/world.hpp"
+
+#include <stdexcept>
+
+namespace ppa::mpl {
+
+World::World(int size) : size_(size), barrier_(size) {
+  if (size <= 0) throw std::invalid_argument("World size must be positive");
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+void World::abort() {
+  aborted_.store(true, std::memory_order_relaxed);
+  barrier_.abort();
+  for (auto& box : mailboxes_) box->abort();
+}
+
+}  // namespace ppa::mpl

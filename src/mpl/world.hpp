@@ -1,0 +1,47 @@
+// ppa/mpl/world.hpp
+//
+// The shared runtime state behind one SPMD computation: one mailbox per rank,
+// a barrier, and the communication tracer. A World corresponds to what the
+// paper calls the code skeleton's responsibility to "create and connect the N
+// processes".
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "mpl/barrier.hpp"
+#include "mpl/mailbox.hpp"
+#include "mpl/trace.hpp"
+
+namespace ppa::mpl {
+
+class World {
+ public:
+  explicit World(int size);
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  [[nodiscard]] int size() const noexcept { return size_; }
+  [[nodiscard]] Mailbox& mailbox(int rank) {
+    return *mailboxes_[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] AbortableBarrier& barrier() noexcept { return barrier_; }
+  [[nodiscard]] CommTrace& trace() noexcept { return trace_; }
+
+  /// Tear down: wake every blocked receiver/barrier-waiter with WorldAborted.
+  /// Called when any rank fails so the others do not deadlock.
+  void abort();
+  [[nodiscard]] bool aborted() const noexcept {
+    return aborted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  int size_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  AbortableBarrier barrier_;
+  CommTrace trace_;
+  std::atomic<bool> aborted_{false};
+};
+
+}  // namespace ppa::mpl

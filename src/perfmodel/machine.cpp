@@ -1,0 +1,71 @@
+#include "perfmodel/machine.hpp"
+
+#include <cmath>
+
+namespace ppa::perf {
+
+Machine intel_delta() {
+  // i860/XR nodes: ~40 MFLOPS peak, single-digit sustained on real codes;
+  // NX latency ~75 us, sustained point-to-point bandwidth ~8 MB/s; 16 MB
+  // per node.
+  return Machine{"Intel Delta", 75e-6, 1.0 / 8e6, 1.2e-6, 16e6, 6.0};
+}
+
+Machine intel_paragon() {
+  // i860/XP nodes with a faster mesh: latency ~50 us, ~70 MB/s; 32 MB.
+  return Machine{"Intel Paragon", 50e-6, 1.0 / 70e6, 1.0e-6, 32e6, 6.0};
+}
+
+Machine ibm_sp() {
+  // SP2 thin nodes (POWER2): ~260 MFLOPS peak / tens sustained; MPI over
+  // the high-performance switch: latency ~40 us, ~35 MB/s; 128 MB.
+  return Machine{"IBM SP", 40e-6, 1.0 / 35e6, 2.0e-7, 128e6, 6.0};
+}
+
+Machine modern_laptop() {
+  // Thread-backed mpl on one shared-memory node: "latency" is the mailbox
+  // handoff (~1 us), "bandwidth" is a memcpy (~5 GB/s).
+  return Machine{"laptop (threads)", 1e-6, 1.0 / 5e9, 2.0e-9, 8e9, 6.0};
+}
+
+int CollectiveCost::ceil_log2(int p) {
+  int l = 0;
+  int v = 1;
+  while (v < p) {
+    v <<= 1;
+    ++l;
+  }
+  return l;
+}
+
+double CollectiveCost::broadcast(int p, double bytes) const {
+  return ceil_log2(p) * m.p2p(bytes);
+}
+
+double CollectiveCost::reduce(int p, double bytes) const {
+  return ceil_log2(p) * m.p2p(bytes);
+}
+
+double CollectiveCost::allreduce(int p, double bytes) const {
+  return ceil_log2(p) * m.p2p(bytes);
+}
+
+double CollectiveCost::gather(int p, double bytes_each) const {
+  if (p <= 1) return 0.0;
+  return (p - 1) * m.alpha + m.beta * bytes_each * (p - 1);
+}
+
+double CollectiveCost::allgather(int p, double bytes_each) const {
+  return gather(p, bytes_each) + broadcast(p, bytes_each * p);
+}
+
+double CollectiveCost::alltoall(int p, double bytes_per_pair) const {
+  if (p <= 1) return 0.0;
+  return (p - 1) * m.p2p(bytes_per_pair);
+}
+
+double CollectiveCost::exchange2d(double edge_bytes_x, double edge_bytes_y) const {
+  return 2.0 * m.p2p(edge_bytes_x) + 2.0 * m.p2p(edge_bytes_y);
+}
+
+}  // namespace ppa::perf

@@ -1,0 +1,71 @@
+// ppa/perfmodel/machine.hpp
+//
+// Machine models for the archetype-based performance analysis (the paper
+// cites exactly this methodology as its ref [32]: Rifkin & Massingill,
+// "Performance analysis for mesh and mesh-spectral archetype applications",
+// Caltech CS-TR-96-27). A machine is characterized by the classic
+// (alpha, beta, tau) triple — per-message latency, per-byte transfer time,
+// and per-element compute time — plus a per-node memory capacity used to
+// model paging effects (the paper's Fig 18 explicitly attributes its
+// superlinear region to paging at the small-P baseline).
+//
+// The presets are order-of-magnitude reconstructions of the paper's
+// testbeds (Intel Touchstone Delta, Intel Paragon, IBM SP2) from their
+// published characteristics; EXPERIMENTS.md documents this substitution.
+// Absolute times are not the point — the *speedup shapes* the models
+// produce are governed by the ratios, which these presets capture.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ppa::perf {
+
+struct Machine {
+  std::string name;
+  double alpha = 1e-4;        ///< message latency (s)
+  double beta = 1e-7;         ///< per-byte transfer time (s)
+  double elem_op = 1e-7;      ///< time per "element operation" (~10 flops with
+                              ///< memory traffic, s)
+  double memory_bytes = 16e6; ///< usable memory per node
+  double paging_factor = 6.0; ///< slowdown multiplier per unit of memory overcommit
+
+  /// Point-to-point message time.
+  [[nodiscard]] double p2p(double bytes) const { return alpha + beta * bytes; }
+};
+
+/// Intel Touchstone Delta (1991): i860 nodes, NX message passing.
+[[nodiscard]] Machine intel_delta();
+/// Intel Paragon (1993).
+[[nodiscard]] Machine intel_paragon();
+/// IBM SP2 (1995): POWER2 nodes, MPI / Fortran M.
+[[nodiscard]] Machine ibm_sp();
+/// A contemporary laptop-class node (for comparing modeled vs measured
+/// shapes on the host running the benches).
+[[nodiscard]] Machine modern_laptop();
+
+/// Collective cost formulas implied by the mpl implementations (binomial
+/// broadcast/reduce, recursive-doubling allreduce, direct all-to-all).
+struct CollectiveCost {
+  Machine m;
+
+  [[nodiscard]] static int ceil_log2(int p);
+
+  /// Binomial broadcast of `bytes` to p ranks.
+  [[nodiscard]] double broadcast(int p, double bytes) const;
+  /// Binomial reduction of `bytes`-sized values.
+  [[nodiscard]] double reduce(int p, double bytes) const;
+  /// Recursive-doubling allreduce.
+  [[nodiscard]] double allreduce(int p, double bytes) const;
+  /// Gather of `bytes_each` from every rank to the root (serialized at root).
+  [[nodiscard]] double gather(int p, double bytes_each) const;
+  /// Allgather = gather + broadcast of the concatenation.
+  [[nodiscard]] double allgather(int p, double bytes_each) const;
+  /// Personalized all-to-all, `bytes_per_pair` between each ordered pair;
+  /// per-rank serialization of its p-1 sends.
+  [[nodiscard]] double alltoall(int p, double bytes_per_pair) const;
+  /// 2-D ghost exchange: 4 messages of `edge_bytes` each (two-phase scheme).
+  [[nodiscard]] double exchange2d(double edge_bytes_x, double edge_bytes_y) const;
+};
+
+}  // namespace ppa::perf

@@ -1,0 +1,250 @@
+#include "perfmodel/models.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mpl/topology.hpp"
+
+namespace ppa::perf {
+
+namespace {
+
+double log2d(double x) { return std::log2(std::max(2.0, x)); }
+
+}  // namespace
+
+double effective_alpha(const Machine& m, int p, int frame, double factor) {
+  if (frame <= 0 || p <= frame) return m.alpha;
+  return m.alpha * factor;
+}
+
+double effective_beta(const Machine& m, int p, int frame, double factor) {
+  if (frame <= 0 || p <= frame) return m.beta;
+  return m.beta * factor;
+}
+
+// ---------------------------------------------------------------- Fig 6 ----
+
+double mergesort_seq_time(const Machine& m, const SortWorkload& w) {
+  const auto n = static_cast<double>(w.n);
+  return n * log2d(n) * m.elem_op;
+}
+
+double mergesort_onedeep_time(const Machine& m, const SortWorkload& w, int p) {
+  const auto n = static_cast<double>(w.n);
+  const double np = n / p;
+  const CollectiveCost cc{m};
+
+  const double local_sort = np * log2d(np) * m.elem_op;
+  // Samples: allgather s values per process; splitter sort is tiny.
+  const double s_bytes = static_cast<double>(w.samples_per_proc) * w.bytes_per_elem;
+  const double params = cc.allgather(p, s_bytes) +
+                        static_cast<double>(w.samples_per_proc) * p *
+                            log2d(static_cast<double>(w.samples_per_proc) * p) *
+                            m.elem_op;
+  // Repartition: p binary searches + one pass of copies.
+  const double repartition = np * m.elem_op;
+  // All-to-all: each ordered pair carries ~np/p elements.
+  const double redistribute = cc.alltoall(p, np / p * w.bytes_per_elem);
+  // k-way merge of p runs: log2 p heap work per element.
+  const double merge = np * log2d(p) * m.elem_op * (p > 1 ? 1.0 : 0.0);
+  return local_sort + params + repartition + redistribute + merge;
+}
+
+double mergesort_traditional_time(const Machine& m, const SortWorkload& w, int p) {
+  // Fig 1: fork at each of d = ceil(log2 p) levels. The root path dominates:
+  // at level l it scans/copies n/2^l elements to split (down) and merges
+  // n/2^l elements (up), and ships half of that to/from the forked child.
+  const auto n = static_cast<double>(w.n);
+  const int depth = CollectiveCost::ceil_log2(p);
+  double t = 0.0;
+  for (int l = 0; l < depth; ++l) {
+    const double level_n = n / static_cast<double>(1u << l);
+    const double ship = m.p2p(level_n / 2.0 * w.bytes_per_elem);
+    t += level_n * m.elem_op + ship;        // split pass + send half down
+    t += level_n * m.elem_op + ship;        // merge pass + receive half up
+  }
+  const double leaf_n = n / static_cast<double>(1u << depth);
+  t += leaf_n * log2d(leaf_n) * m.elem_op;  // leaf sequential sort
+  return t;
+}
+
+std::vector<SpeedupPoint> fig6_onedeep(const Machine& m, const SortWorkload& w,
+                                       const std::vector<int>& procs) {
+  const double t1 = mergesort_seq_time(m, w);
+  std::vector<SpeedupPoint> out;
+  for (int p : procs) out.push_back({p, t1 / mergesort_onedeep_time(m, w, p)});
+  return out;
+}
+
+std::vector<SpeedupPoint> fig6_traditional(const Machine& m, const SortWorkload& w,
+                                           const std::vector<int>& procs) {
+  const double t1 = mergesort_seq_time(m, w);
+  std::vector<SpeedupPoint> out;
+  for (int p : procs) out.push_back({p, t1 / mergesort_traditional_time(m, w, p)});
+  return out;
+}
+
+// --------------------------------------------------------------- Fig 12 ----
+
+double fft2d_seq_time(const Machine& m, const FftWorkload& w) {
+  const auto nm = static_cast<double>(w.rows * w.cols);
+  const double c = m.elem_op / w.fft_speed_factor;
+  return w.reps * nm *
+         (log2d(static_cast<double>(w.cols)) + log2d(static_cast<double>(w.rows))) *
+         c;
+}
+
+double fft2d_par_time(const Machine& m, const FftWorkload& w, int p) {
+  const auto nm = static_cast<double>(w.rows * w.cols);
+  const double c = m.elem_op / w.fft_speed_factor;
+  const double compute =
+      nm / p *
+      (log2d(static_cast<double>(w.cols)) + log2d(static_cast<double>(w.rows))) * c;
+  // Two redistributions per transform: all-to-all with nm/p^2 elements per
+  // ordered pair, plus pack/unpack passes over the local nm/p elements.
+  Machine eff = m;
+  eff.alpha = effective_alpha(m, p);
+  const CollectiveCost cc{eff};
+  const double pair_bytes = nm / (static_cast<double>(p) * p) * w.bytes_per_elem;
+  const double comm = 2.0 * cc.alltoall(p, pair_bytes);
+  const double packing = (p > 1 ? 4.0 * nm / p * m.elem_op : 0.0);
+  return w.reps * (compute + comm + packing);
+}
+
+std::vector<SpeedupPoint> fig12_fft(const Machine& m, const FftWorkload& w,
+                                    const std::vector<int>& procs) {
+  const double t1 = fft2d_seq_time(m, w);
+  std::vector<SpeedupPoint> out;
+  for (int p : procs) out.push_back({p, t1 / fft2d_par_time(m, w, p)});
+  return out;
+}
+
+// --------------------------------------------------------------- Fig 15 ----
+
+double poisson_seq_time(const Machine& m, const PoissonWorkload& w) {
+  return w.steps * static_cast<double>(w.nx * w.ny) * w.ops_per_point * m.elem_op;
+}
+
+double poisson_par_time(const Machine& m, const PoissonWorkload& w, int p) {
+  const auto grid = mpl::CartGrid2D::near_square(p);
+  const double sx = std::ceil(static_cast<double>(w.nx) / grid.npx());
+  const double sy = std::ceil(static_cast<double>(w.ny) / grid.npy());
+  const double compute = sx * sy * w.ops_per_point * m.elem_op;
+  Machine eff = m;
+  eff.alpha = effective_alpha(m, p);
+  const CollectiveCost cc{eff};
+  const double exchange =
+      (p > 1 ? cc.exchange2d(sy * 8.0, sx * 8.0) : 0.0);
+  const double reduce = (p > 1 ? cc.allreduce(p, 8.0) : 0.0);
+  return w.steps * (compute + exchange + reduce);
+}
+
+std::vector<SpeedupPoint> fig15_poisson(const Machine& m, const PoissonWorkload& w,
+                                        const std::vector<int>& procs) {
+  const double t1 = poisson_seq_time(m, w);
+  std::vector<SpeedupPoint> out;
+  for (int p : procs) out.push_back({p, t1 / poisson_par_time(m, w, p)});
+  return out;
+}
+
+// --------------------------------------------------------------- Fig 16 ----
+
+double cfd_seq_time(const Machine& m, const CfdWorkload& w) {
+  return w.steps * static_cast<double>(w.nx * w.ny) * w.ops_per_point * m.elem_op;
+}
+
+double cfd_par_time(const Machine& m, const CfdWorkload& w, int p) {
+  const auto grid = mpl::CartGrid2D::near_square(p);
+  const double sx = std::ceil(static_cast<double>(w.nx) / grid.npx());
+  const double sy = std::ceil(static_cast<double>(w.ny) / grid.npy());
+  const double compute = sx * sy * w.ops_per_point * m.elem_op;
+  const CollectiveCost cc{m};  // the Delta had a flat mesh: no frame penalty
+  const double exchange =
+      (p > 1 ? cc.exchange2d(sy * w.bytes_per_point, sx * w.bytes_per_point) : 0.0);
+  const double reduce = (p > 1 ? cc.allreduce(p, 8.0) : 0.0);  // CFL dt
+  return w.steps * (compute + exchange + reduce);
+}
+
+std::vector<SpeedupPoint> fig16_cfd(const Machine& m, const CfdWorkload& w,
+                                    const std::vector<int>& procs) {
+  const double t1 = cfd_seq_time(m, w);
+  std::vector<SpeedupPoint> out;
+  for (int p : procs) out.push_back({p, t1 / cfd_par_time(m, w, p)});
+  return out;
+}
+
+// --------------------------------------------------------------- Fig 17 ----
+
+double em_seq_time(const Machine& m, const EmWorkload& w) {
+  const auto n3 = static_cast<double>(w.n * w.n * w.n);
+  return w.steps * n3 * w.ops_per_point * m.elem_op;
+}
+
+double em_par_time(const Machine& m, const EmWorkload& w, int p) {
+  const auto grid = mpl::CartGrid3D::near_cubic(p);
+  const auto n = static_cast<double>(w.n);
+  const double sx = std::ceil(n / grid.npx());
+  const double sy = std::ceil(n / grid.npy());
+  const double sz = std::ceil(n / grid.npz());
+  const double compute = sx * sy * sz * w.ops_per_point * m.elem_op;
+
+  Machine eff = m;
+  eff.alpha = effective_alpha(m, p);  // SP frames held 16 nodes
+  eff.beta = effective_beta(m, p);
+  // Face exchange per field per axis with a neighbor on each side.
+  double exchange = 0.0;
+  const double faces[3] = {sy * sz, sx * sz, sx * sy};
+  const int npd[3] = {grid.npx(), grid.npy(), grid.npz()};
+  for (int axis = 0; axis < 3; ++axis) {
+    if (npd[axis] > 1) exchange += 2.0 * eff.p2p(faces[axis] * 8.0);
+  }
+  exchange *= w.fields;
+  const CollectiveCost cc{eff};
+  const double reduce = (p > 1 ? cc.allreduce(p, 8.0) : 0.0);  // stability check
+  return w.steps * (compute + exchange + reduce);
+}
+
+std::vector<SpeedupPoint> fig17_em(const Machine& m, const EmWorkload& w,
+                                   const std::vector<int>& procs) {
+  const double t1 = em_seq_time(m, w);
+  std::vector<SpeedupPoint> out;
+  for (int p : procs) out.push_back({p, t1 / em_par_time(m, w, p)});
+  return out;
+}
+
+// --------------------------------------------------------------- Fig 18 ----
+
+double spectral_par_time(const Machine& m, const SpectralWorkload& w, int p) {
+  const auto nm = static_cast<double>(w.nr * w.nz);
+  double compute = nm / p * w.ops_per_point * m.elem_op;
+
+  // Paging: if the per-node working set exceeds memory, every sweep pays a
+  // penalty proportional to the overcommit ratio.
+  const double working_set = nm * 8.0 * w.state_arrays / p;
+  if (working_set > m.memory_bytes) {
+    const double overcommit = working_set / m.memory_bytes - 1.0;
+    compute *= 1.0 + m.paging_factor * overcommit;
+  }
+
+  Machine eff = m;
+  eff.alpha = effective_alpha(m, p);
+  const CollectiveCost cc{eff};
+  const double pair_bytes = nm / (static_cast<double>(p) * p) * 8.0;
+  const double comm = (p > 1 ? 2.0 * cc.alltoall(p, pair_bytes) : 0.0) +
+                      (p > 1 ? 4.0 * nm / p * m.elem_op : 0.0);  // pack/unpack
+  return w.steps * (compute + comm);
+}
+
+std::vector<SpeedupPoint> fig18_spectral(const Machine& m, const SpectralWorkload& w,
+                                         const std::vector<int>& procs) {
+  const double t_base = spectral_par_time(m, w, w.base_procs);
+  std::vector<SpeedupPoint> out;
+  for (int p : procs) {
+    out.push_back({p, static_cast<double>(w.base_procs) * t_base /
+                          spectral_par_time(m, w, p)});
+  }
+  return out;
+}
+
+}  // namespace ppa::perf

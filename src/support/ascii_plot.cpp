@@ -1,0 +1,128 @@
+#include "support/ascii_plot.hpp"
+
+#include <iomanip>
+
+namespace ppa::plot {
+
+namespace {
+
+struct Range {
+  double lo = 0.0;
+  double hi = 1.0;
+  [[nodiscard]] double span() const { return hi - lo; }
+};
+
+Range data_range(const std::vector<Series>& series,
+                 double (*pick)(const std::pair<double, double>&)) {
+  Range r{1e300, -1e300};
+  bool any = false;
+  for (const auto& s : series) {
+    for (const auto& p : s.points) {
+      r.lo = std::min(r.lo, pick(p));
+      r.hi = std::max(r.hi, pick(p));
+      any = true;
+    }
+  }
+  if (!any) return {0.0, 1.0};
+  if (r.span() <= 0.0) {
+    r.lo -= 0.5;
+    r.hi += 0.5;
+  }
+  return r;
+}
+
+std::string format_tick(double v) {
+  std::ostringstream os;
+  if (std::abs(v) >= 100.0 || v == std::floor(v)) {
+    os << std::fixed << std::setprecision(0) << v;
+  } else {
+    os << std::fixed << std::setprecision(1) << v;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string render(const Axes& axes, const std::vector<Series>& series) {
+  const int w = std::max(axes.width, 16);
+  const int h = std::max(axes.height, 8);
+  const Range xr = data_range(series, [](const std::pair<double, double>& p) {
+    return p.first;
+  });
+  const Range yr = data_range(series, [](const std::pair<double, double>& p) {
+    return p.second;
+  });
+
+  std::vector<std::string> canvas(static_cast<std::size_t>(h),
+                                  std::string(static_cast<std::size_t>(w), ' '));
+  for (const auto& s : series) {
+    for (const auto& [x, y] : s.points) {
+      const double fx = (x - xr.lo) / xr.span();
+      const double fy = (y - yr.lo) / yr.span();
+      if (fx < 0.0 || fx > 1.0 || fy < 0.0 || fy > 1.0) continue;
+      const int cx = std::min(w - 1, static_cast<int>(std::lround(fx * (w - 1))));
+      const int cy = std::min(h - 1, static_cast<int>(std::lround(fy * (h - 1))));
+      // Row 0 of the canvas is the top of the plot.
+      canvas[static_cast<std::size_t>(h - 1 - cy)][static_cast<std::size_t>(cx)] =
+          s.glyph;
+    }
+  }
+
+  std::ostringstream out;
+  if (!axes.title.empty()) out << "  " << axes.title << "\n";
+  const std::string ytop = format_tick(yr.hi);
+  const std::string ybot = format_tick(yr.lo);
+  const std::size_t margin = std::max(ytop.size(), ybot.size()) + 1;
+
+  for (int row = 0; row < h; ++row) {
+    std::string label;
+    if (row == 0) label = ytop;
+    if (row == h - 1) label = ybot;
+    out << std::setw(static_cast<int>(margin)) << label << " |"
+        << canvas[static_cast<std::size_t>(row)] << "\n";
+  }
+  out << std::string(margin + 1, ' ') << '+' << std::string(static_cast<std::size_t>(w), '-')
+      << "\n";
+  const std::string xlo = format_tick(xr.lo);
+  const std::string xhi = format_tick(xr.hi);
+  out << std::string(margin + 2, ' ') << xlo
+      << std::string(static_cast<std::size_t>(
+                         std::max(1, w - static_cast<int>(xlo.size()) -
+                                         static_cast<int>(xhi.size()))),
+                     ' ')
+      << xhi << "\n";
+  if (!axes.xlabel.empty()) {
+    out << std::string(margin + 2, ' ') << "x: " << axes.xlabel;
+    if (!axes.ylabel.empty()) out << "   y: " << axes.ylabel;
+    out << "\n";
+  }
+  for (const auto& s : series) {
+    if (s.name.empty()) continue;
+    out << std::string(margin + 2, ' ') << s.glyph << " = " << s.name << "\n";
+  }
+  return out.str();
+}
+
+std::string render_speedup(const std::string& title,
+                           const std::vector<Series>& series, double max_p,
+                           double max_s) {
+  Axes axes;
+  axes.title = title;
+  axes.xlabel = "processors";
+  axes.ylabel = "speedup";
+  std::vector<Series> all = series;
+  Series perfect{"perfect speedup", '.', {}};
+  const int steps = 32;
+  for (int i = 0; i <= steps; ++i) {
+    const double p = 1.0 + (max_p - 1.0) * i / steps;
+    if (p <= max_s) perfect.points.emplace_back(p, p);
+  }
+  all.push_back(std::move(perfect));
+  // Anchor the axes so different figures are comparable.
+  Series anchor{"", ' ', {{0.0, 0.0}, {max_p, max_s}}};
+  all.push_back(anchor);
+  auto text = render(axes, all);
+  return text;
+}
+
+}  // namespace ppa::plot

@@ -1,0 +1,41 @@
+// ppa/support/ascii_plot.hpp
+//
+// Terminal x-y plotting used by the per-figure benchmark binaries to render
+// paper-style speedup curves (multiple series, one glyph per series, with a
+// legend). Deliberately dependency-free so bench output is plain text.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ppa::plot {
+
+/// One plotted curve: a name (for the legend), a glyph, and (x, y) points.
+struct Series {
+  std::string name;
+  char glyph = '*';
+  std::vector<std::pair<double, double>> points;
+};
+
+struct Axes {
+  std::string title;
+  std::string xlabel;
+  std::string ylabel;
+  int width = 64;   ///< plot-area columns
+  int height = 20;  ///< plot-area rows
+};
+
+std::string render(const Axes& axes, const std::vector<Series>& series);
+
+/// Convenience: render a classic speedup figure (speedup vs processors with a
+/// `perfect` diagonal), matching the layout of the paper's figures.
+std::string render_speedup(const std::string& title,
+                           const std::vector<Series>& series, double max_p,
+                           double max_s);
+
+}  // namespace ppa::plot

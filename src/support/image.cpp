@@ -1,0 +1,108 @@
+#include "support/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ppa::img {
+
+namespace {
+
+/// Compute the normalization range, falling back to data min/max.
+void resolve_range(const Array2D<double>& field, double& lo, double& hi) {
+  if (lo != hi) return;
+  lo = 1e300;
+  hi = -1e300;
+  for (double v : field.flat()) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (lo >= hi) {
+    lo -= 0.5;
+    hi += 0.5;
+  }
+}
+
+double normalize(double v, double lo, double hi) {
+  return std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
+}
+
+}  // namespace
+
+Rgb colormap_jet(double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  const auto ch = [](double x) {
+    return static_cast<unsigned char>(std::lround(255.0 * std::clamp(x, 0.0, 1.0)));
+  };
+  return Rgb{ch(1.5 - std::abs(4.0 * t - 3.0)), ch(1.5 - std::abs(4.0 * t - 2.0)),
+             ch(1.5 - std::abs(4.0 * t - 1.0))};
+}
+
+Rgb colormap_gray(double t) {
+  const auto g =
+      static_cast<unsigned char>(std::lround(255.0 * std::clamp(t, 0.0, 1.0)));
+  return Rgb{g, g, g};
+}
+
+void write_ppm(const std::string& path, const Array2D<double>& field, double lo,
+               double hi, Rgb (*cmap)(double)) {
+  resolve_range(field, lo, hi);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_ppm: cannot open " + path);
+  out << "P6\n" << field.cols() << ' ' << field.rows() << "\n255\n";
+  for (std::size_t i = 0; i < field.rows(); ++i) {
+    for (std::size_t j = 0; j < field.cols(); ++j) {
+      const Rgb c = cmap(normalize(field(i, j), lo, hi));
+      out.put(static_cast<char>(c.r));
+      out.put(static_cast<char>(c.g));
+      out.put(static_cast<char>(c.b));
+    }
+  }
+}
+
+void write_pgm(const std::string& path, const Array2D<double>& field, double lo,
+               double hi) {
+  resolve_range(field, lo, hi);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_pgm: cannot open " + path);
+  out << "P5\n" << field.cols() << ' ' << field.rows() << "\n255\n";
+  for (std::size_t i = 0; i < field.rows(); ++i) {
+    for (std::size_t j = 0; j < field.cols(); ++j) {
+      const double t = normalize(field(i, j), lo, hi);
+      out.put(static_cast<char>(std::lround(255.0 * t)));
+    }
+  }
+}
+
+std::string ascii_field(const Array2D<double>& field, int cols) {
+  static const char* kRamp = " .:-=+*#%@";
+  constexpr int kLevels = 10;
+  if (field.empty()) return "(empty field)\n";
+  double lo = 0.0, hi = 0.0;
+  resolve_range(field, lo, hi);
+  cols = std::max(8, cols);
+  // Terminal cells are ~2x taller than wide; halve row resolution.
+  const int rows =
+      std::max(4, static_cast<int>(field.rows() * static_cast<std::size_t>(cols) /
+                                   (2 * std::max<std::size_t>(1, field.cols()))));
+  std::ostringstream out;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const auto i = static_cast<std::size_t>(
+          (static_cast<double>(r) + 0.5) / rows * static_cast<double>(field.rows()));
+      const auto j = static_cast<std::size_t>(
+          (static_cast<double>(c) + 0.5) / cols * static_cast<double>(field.cols()));
+      const double t = normalize(field(std::min(i, field.rows() - 1),
+                                       std::min(j, field.cols() - 1)),
+                                 lo, hi);
+      const int level = std::min(kLevels - 1, static_cast<int>(t * kLevels));
+      out << kRamp[level];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace ppa::img

@@ -1,0 +1,42 @@
+// ppa/support/image.hpp
+//
+// Minimal image output (binary PGM/PPM) plus colormaps, used to regenerate
+// the paper's field-output figures (Fig 19/20: density and vorticity of a
+// shock-interface interaction; Fig 21: azimuthal velocity of a swirling
+// flow). Also provides a coarse ASCII rendering so results are visible in
+// terminal logs.
+#pragma once
+
+#include <string>
+
+#include "support/ndarray.hpp"
+
+namespace ppa::img {
+
+/// RGB triple, components in [0, 255].
+struct Rgb {
+  unsigned char r = 0, g = 0, b = 0;
+};
+
+/// Classic blue->cyan->yellow->red "jet"-style colormap; t in [0,1].
+Rgb colormap_jet(double t);
+
+/// Grayscale colormap; t in [0,1].
+Rgb colormap_gray(double t);
+
+/// Write `field` as a binary PPM (P6), normalizing values to [lo, hi].
+/// If lo == hi, the range is taken from the data. Row 0 of the array is the
+/// top row of the image.
+void write_ppm(const std::string& path, const Array2D<double>& field,
+               double lo = 0.0, double hi = 0.0,
+               Rgb (*cmap)(double) = &colormap_jet);
+
+/// Write `field` as a binary PGM (P5) grayscale image.
+void write_pgm(const std::string& path, const Array2D<double>& field,
+               double lo = 0.0, double hi = 0.0);
+
+/// Coarse ASCII-art rendering (for terminal inspection); `cols` output
+/// columns, aspect-corrected rows.
+std::string ascii_field(const Array2D<double>& field, int cols = 72);
+
+}  // namespace ppa::img

@@ -1,0 +1,153 @@
+// ppa/support/ndarray.hpp
+//
+// Owning, row-major 1/2/3-dimensional arrays used throughout the archetype
+// framework for local grid sections, whole-grid (version-1) algorithms, and
+// image buffers.
+//
+// Design notes:
+//  * Row-major storage; the rightmost index is contiguous.
+//  * operator() is bounds-checked in debug builds (assert) and unchecked in
+//    release builds; at() is always checked.
+//  * row(i) / row_span() expose contiguous rows as std::span so that row
+//    operations (one of the mesh-spectral archetype's primitive operation
+//    classes) can be written against spans.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace ppa {
+
+/// Owning two-dimensional row-major array.
+template <typename T>
+class Array2D {
+ public:
+  Array2D() = default;
+
+  Array2D(std::size_t rows, std::size_t cols, const T& init = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  T& operator()(std::size_t i, std::size_t j) noexcept {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  const T& operator()(std::size_t i, std::size_t j) const noexcept {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  /// Always-bounds-checked access.
+  T& at(std::size_t i, std::size_t j) {
+    if (i >= rows_ || j >= cols_) throw std::out_of_range("Array2D::at");
+    return data_[i * cols_ + j];
+  }
+  const T& at(std::size_t i, std::size_t j) const {
+    if (i >= rows_ || j >= cols_) throw std::out_of_range("Array2D::at");
+    return data_[i * cols_ + j];
+  }
+
+  /// Contiguous view of row i.
+  [[nodiscard]] std::span<T> row(std::size_t i) noexcept {
+    assert(i < rows_);
+    return {data_.data() + i * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const T> row(std::size_t i) const noexcept {
+    assert(i < rows_);
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  [[nodiscard]] T* data() noexcept { return data_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+
+  [[nodiscard]] std::span<T> flat() noexcept { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const T> flat() const noexcept {
+    return {data_.data(), data_.size()};
+  }
+
+  void fill(const T& value) { data_.assign(data_.size(), value); }
+
+  friend bool operator==(const Array2D& a, const Array2D& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+/// Owning three-dimensional row-major array (index order: i, j, k with k
+/// contiguous).
+template <typename T>
+class Array3D {
+ public:
+  Array3D() = default;
+
+  Array3D(std::size_t nx, std::size_t ny, std::size_t nz, const T& init = T{})
+      : nx_(nx), ny_(ny), nz_(nz), data_(nx * ny * nz, init) {}
+
+  [[nodiscard]] std::size_t nx() const noexcept { return nx_; }
+  [[nodiscard]] std::size_t ny() const noexcept { return ny_; }
+  [[nodiscard]] std::size_t nz() const noexcept { return nz_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  T& operator()(std::size_t i, std::size_t j, std::size_t k) noexcept {
+    assert(i < nx_ && j < ny_ && k < nz_);
+    return data_[(i * ny_ + j) * nz_ + k];
+  }
+  const T& operator()(std::size_t i, std::size_t j, std::size_t k) const noexcept {
+    assert(i < nx_ && j < ny_ && k < nz_);
+    return data_[(i * ny_ + j) * nz_ + k];
+  }
+
+  T& at(std::size_t i, std::size_t j, std::size_t k) {
+    if (i >= nx_ || j >= ny_ || k >= nz_) throw std::out_of_range("Array3D::at");
+    return data_[(i * ny_ + j) * nz_ + k];
+  }
+  const T& at(std::size_t i, std::size_t j, std::size_t k) const {
+    if (i >= nx_ || j >= ny_ || k >= nz_) throw std::out_of_range("Array3D::at");
+    return data_[(i * ny_ + j) * nz_ + k];
+  }
+
+  [[nodiscard]] T* data() noexcept { return data_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+
+  [[nodiscard]] std::span<T> flat() noexcept { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const T> flat() const noexcept {
+    return {data_.data(), data_.size()};
+  }
+
+  void fill(const T& value) { data_.assign(data_.size(), value); }
+
+  friend bool operator==(const Array3D& a, const Array3D& b) {
+    return a.nx_ == b.nx_ && a.ny_ == b.ny_ && a.nz_ == b.nz_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t nx_ = 0;
+  std::size_t ny_ = 0;
+  std::size_t nz_ = 0;
+  std::vector<T> data_;
+};
+
+/// Transposed copy (rows become columns). Useful when rendering fields
+/// whose first index is the horizontal axis.
+template <typename T>
+[[nodiscard]] Array2D<T> transpose(const Array2D<T>& a) {
+  Array2D<T> out(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) out(j, i) = a(i, j);
+  }
+  return out;
+}
+
+}  // namespace ppa

@@ -1,0 +1,49 @@
+// ppa/support/partition.hpp
+//
+// Block-partition index arithmetic shared by both archetypes: the one-deep
+// divide-and-conquer archetype block-distributes 1-D problem data among
+// processes, and the mesh-spectral archetype block-distributes grid axes
+// across a Cartesian process grid.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+namespace ppa {
+
+/// Half-open index range [lo, hi).
+struct Range {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  [[nodiscard]] std::size_t size() const noexcept { return hi - lo; }
+  [[nodiscard]] bool contains(std::size_t i) const noexcept {
+    return i >= lo && i < hi;
+  }
+  friend bool operator==(const Range&, const Range&) = default;
+};
+
+/// The `part`-th of `parts` near-equal contiguous blocks of [0, n).
+/// The first (n % parts) blocks get one extra element, matching the standard
+/// MPI block distribution. Valid for any n (including n < parts, where the
+/// trailing blocks are empty).
+inline Range block_range(std::size_t n, std::size_t parts, std::size_t part) noexcept {
+  assert(parts > 0 && part < parts);
+  const std::size_t base = n / parts;
+  const std::size_t extra = n % parts;
+  const std::size_t lo = part * base + (part < extra ? part : extra);
+  const std::size_t size = base + (part < extra ? 1 : 0);
+  return {lo, lo + size};
+}
+
+/// Inverse map: which block owns global index i under block_range(n, parts, .)?
+inline std::size_t block_owner(std::size_t n, std::size_t parts, std::size_t i) noexcept {
+  assert(i < n);
+  const std::size_t base = n / parts;
+  const std::size_t extra = n % parts;
+  const std::size_t cutover = extra * (base + 1);  // first index owned by a small block
+  if (i < cutover) return i / (base + 1);
+  assert(base > 0);
+  return extra + (i - cutover) / base;
+}
+
+}  // namespace ppa

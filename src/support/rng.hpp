@@ -1,0 +1,113 @@
+// ppa/support/rng.hpp
+//
+// Deterministic, seedable pseudo-random number generation (xoshiro256**,
+// seeded via splitmix64). All workload generators in tests and benches use
+// this so that runs are reproducible across platforms and standard-library
+// implementations (std::mt19937's distributions are not cross-stdlib stable;
+// this generator plus our own distribution mappings are).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace ppa {
+
+/// splitmix64: used to expand a single 64-bit seed into generator state.
+inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 — fast, high-quality, reproducible PRNG.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853C49E6748FEA9BULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Uses rejection sampling over the top
+  /// bits; the retry probability is negligible for the bounds we use.
+  std::uint64_t uniform_u64(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    // Power-of-two fast path and general path via modulo with rejection of
+    // the biased tail.
+    const std::uint64_t limit = max() - max() % bound;
+    std::uint64_t x = (*this)();
+    while (x >= limit) x = (*this)();
+    return x % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniform_u64(range));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal via Box–Muller (polar is fine; marsaglia avoided for
+  /// determinism simplicity).
+  double normal() noexcept {
+    // Box–Muller; caches are intentionally not used so call counts are
+    // position-independent (helps reproducibility when interleaving).
+    double u1 = uniform();
+    double u2 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    constexpr double two_pi = 6.28318530717958647692;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(two_pi * u2);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+/// Convenience: n uniformly random ints in [lo, hi], deterministic in seed.
+inline std::vector<int> random_ints(std::size_t n, int lo, int hi,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int> out(n);
+  for (auto& v : out) v = static_cast<int>(rng.uniform_int(lo, hi));
+  return out;
+}
+
+/// Convenience: n uniform doubles in [lo, hi), deterministic in seed.
+inline std::vector<double> random_doubles(std::size_t n, double lo, double hi,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (auto& v : out) v = rng.uniform(lo, hi);
+  return out;
+}
+
+}  // namespace ppa

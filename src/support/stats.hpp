@@ -1,0 +1,80 @@
+// ppa/support/stats.hpp
+//
+// Summary statistics and timing helpers used by the benchmark harness and by
+// tests that check statistical properties of workload generators.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ppa {
+
+/// Five-number-ish summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double median = 0.0;
+};
+
+inline Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  const std::size_t n = sorted.size();
+  s.median = (n % 2 == 1) ? sorted[n / 2]
+                          : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  double sum = 0.0;
+  for (double x : sorted) sum += x;
+  s.mean = sum / static_cast<double>(n);
+  if (n > 1) {
+    double ss = 0.0;
+    for (double x : sorted) ss += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(n - 1));
+  }
+  return s;
+}
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  /// Elapsed seconds since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Time a callable, returning elapsed seconds.
+template <typename F>
+double time_seconds(F&& f) {
+  Timer t;
+  f();
+  return t.seconds();
+}
+
+/// Run a callable `reps` times and return the minimum elapsed seconds —
+/// the standard noise-robust estimator for short benchmarks.
+template <typename F>
+double time_best_of(int reps, F&& f) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) best = std::min(best, time_seconds(f));
+  return best;
+}
+
+}  // namespace ppa

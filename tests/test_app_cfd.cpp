@@ -1,0 +1,179 @@
+// Tests for the compressible-flow code (paper section 7.1): conservation on
+// periodic domains, uniform-state preservation, process-count invariance
+// (bitwise), positivity, shock propagation, and Rankine-Hugoniot setup.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <string>
+
+#include "apps/cfd/euler2d.hpp"
+
+namespace {
+
+using namespace ppa;
+using app::CfdConfig;
+using app::CfdSim;
+using app::EulerState;
+
+CfdConfig small_config() {
+  CfdConfig cfg;
+  cfg.nx = 48;
+  cfg.ny = 16;
+  cfg.lx = 3.0;
+  cfg.ly = 1.0;
+  return cfg;
+}
+
+TEST(CfdApp, RankineHugoniotPostShockState) {
+  // Sanity of the shock relations at Mach 1.5 into (rho=1, p=1, gamma=1.4).
+  const auto w = app::post_shock_state(1.5, 1.0, 1.0, 1.4);
+  EXPECT_NEAR(w.p, 2.458333333, 1e-6);       // 1 + 2*1.4/2.4*(1.25)
+  EXPECT_NEAR(w.rho, 1.862068966, 1e-6);     // 2.4*2.25/(0.4*2.25+2)
+  EXPECT_GT(w.u, 0.0);
+  EXPECT_DOUBLE_EQ(w.v, 0.0);
+  // Mach 1 shock is no shock at all.
+  const auto w1 = app::post_shock_state(1.0, 1.0, 1.0, 1.4);
+  EXPECT_NEAR(w1.p, 1.0, 1e-12);
+  EXPECT_NEAR(w1.rho, 1.0, 1e-12);
+  EXPECT_NEAR(w1.u, 0.0, 1e-12);
+}
+
+TEST(CfdApp, PrimitiveConservedRoundtrip) {
+  const app::EulerPrim w{1.7, 0.3, -0.2, 2.5};
+  const auto s = app::to_conserved(w, 1.4);
+  const auto back = app::to_primitive(s, 1.4);
+  EXPECT_NEAR(back.rho, w.rho, 1e-14);
+  EXPECT_NEAR(back.u, w.u, 1e-14);
+  EXPECT_NEAR(back.v, w.v, 1e-14);
+  EXPECT_NEAR(back.p, w.p, 1e-14);
+}
+
+TEST(CfdApp, UniformStateIsSteady) {
+  auto cfg = small_config();
+  cfg.periodic_x = true;
+  const auto pgrid = mpl::CartGrid2D::near_square(4);
+  mpl::spmd_run(4, [&](mpl::Process& p) {
+    CfdSim sim(p, pgrid, cfg);
+    const EulerState s0 = app::to_conserved({1.3, 0.2, -0.1, 0.9}, cfg.gamma);
+    sim.set_state([&](std::size_t, std::size_t) { return s0; });
+    sim.run(20);
+    mesh::for_interior(sim.state(), [&](std::ptrdiff_t i, std::ptrdiff_t j) {
+      const EulerState& s = sim.state()(i, j);
+      EXPECT_NEAR(s.rho, s0.rho, 1e-12);
+      EXPECT_NEAR(s.mx, s0.mx, 1e-12);
+      EXPECT_NEAR(s.my, s0.my, 1e-12);
+      EXPECT_NEAR(s.E, s0.E, 1e-12);
+    });
+  });
+}
+
+class CfdP : public testing::TestWithParam<int> {};
+
+TEST_P(CfdP, PeriodicBoxConservesMassMomentumEnergy) {
+  const int p = GetParam();
+  auto cfg = small_config();
+  cfg.periodic_x = true;
+  const auto pgrid = mpl::CartGrid2D::near_square(p);
+  mpl::spmd_run(p, [&](mpl::Process& proc) {
+    CfdSim sim(proc, pgrid, cfg);
+    // Smooth periodic initial condition.
+    sim.set_state([&](std::size_t gi, std::size_t gj) {
+      const double x = (static_cast<double>(gi) + 0.5) * sim.dx();
+      const double y = (static_cast<double>(gj) + 0.5) * sim.dy();
+      const double rho =
+          1.0 + 0.2 * std::sin(2.0 * std::numbers::pi * x / cfg.lx) *
+                    std::cos(2.0 * std::numbers::pi * y / cfg.ly);
+      return app::to_conserved({rho, 0.1, -0.05, 1.0}, cfg.gamma);
+    });
+    const double m0 = sim.total_mass();
+    const double e0 = sim.total_energy();
+    const double px0 = sim.total_momentum_x();
+    sim.run(25);
+    // Finite-volume flux differencing telescopes exactly on a periodic
+    // domain; only rounding remains.
+    EXPECT_NEAR(sim.total_mass(), m0, 1e-11 * std::abs(m0));
+    EXPECT_NEAR(sim.total_energy(), e0, 1e-11 * std::abs(e0));
+    EXPECT_NEAR(sim.total_momentum_x(), px0, 1e-9 * std::max(1.0, std::abs(px0)));
+  });
+}
+
+TEST_P(CfdP, ShockScenarioStaysPhysical) {
+  const int p = GetParam();
+  auto cfg = small_config();
+  const auto pgrid = mpl::CartGrid2D::near_square(p);
+  mpl::spmd_run(p, [&](mpl::Process& proc) {
+    CfdSim sim(proc, pgrid, cfg);
+    sim.init_shock_interface();
+    sim.run(40);
+    EXPECT_GT(sim.min_density(), 0.0);
+    EXPECT_GT(sim.min_pressure(), 0.0);
+    EXPECT_TRUE(std::isfinite(sim.max_wave_speed()));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, CfdP, testing::Values(1, 2, 4, 6),
+                         [](const testing::TestParamInfo<int>& info) {
+                           std::string name = "P";
+                           name += std::to_string(info.param);
+                           return name;
+                         });
+
+TEST(CfdApp, ProcessCountInvariantBitwise) {
+  // dt comes from an allreduced max (exact) and every cell update uses
+  // identical arithmetic, so P=1 and P=4 runs agree bitwise.
+  auto cfg = small_config();
+  const auto rho1 = app::run_shock_interface(cfg, 30, 1);
+  const auto rho4 = app::run_shock_interface(cfg, 30, 4);
+  ASSERT_EQ(rho1.rows(), rho4.rows());
+  for (std::size_t i = 0; i < rho1.rows(); ++i) {
+    for (std::size_t j = 0; j < rho1.cols(); ++j) {
+      EXPECT_EQ(rho1(i, j), rho4(i, j)) << "cell (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(CfdApp, ShockAdvancesDownstream) {
+  // After some steps the mean density right of the initial shock position
+  // must rise (the shock compresses gas as it advances into the domain).
+  auto cfg = small_config();
+  const auto pgrid = mpl::CartGrid2D::near_square(2);
+  mpl::spmd_run(2, [&](mpl::Process& proc) {
+    CfdSim sim(proc, pgrid, cfg);
+    sim.init_shock_interface();
+    const auto before = sim.gather_density(0);
+    sim.run(60);
+    const auto after = sim.gather_density(0);
+    if (proc.rank() != 0) return;
+    const auto probe = static_cast<std::size_t>(
+        (cfg.x_shock + 0.15) / cfg.lx * static_cast<double>(cfg.nx));
+    double mean_before = 0.0, mean_after = 0.0;
+    for (std::size_t j = 0; j < cfg.ny; ++j) {
+      mean_before += before(probe, j);
+      mean_after += after(probe, j);
+    }
+    EXPECT_GT(mean_after, mean_before * 1.05)
+        << "shock did not reach probe column";
+  });
+}
+
+TEST(CfdApp, VorticityGeneratedAtInterface) {
+  // Baroclinic/shear vorticity appears once the shock has struck the
+  // perturbed interface (the roll-up visible in the paper's Fig 20).
+  auto cfg = small_config();
+  cfg.nx = 64;
+  cfg.ny = 32;
+  const auto pgrid = mpl::CartGrid2D::near_square(2);
+  mpl::spmd_run(2, [&](mpl::Process& proc) {
+    CfdSim sim(proc, pgrid, cfg);
+    sim.init_shock_interface();
+    sim.run(150);
+    const auto omega = sim.gather_vorticity(0);
+    if (proc.rank() != 0) return;
+    double max_abs = 0.0;
+    for (double w : omega.flat()) max_abs = std::max(max_abs, std::abs(w));
+    EXPECT_GT(max_abs, 0.05);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,166 @@
+// Tests for the Jacobi Poisson solver (paper section 6): version-1/version-2
+// bitwise equivalence, convergence to known solutions, the discrete maximum
+// principle, and the archetype's per-iteration communication pattern.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <string>
+
+#include "apps/poisson/poisson.hpp"
+
+namespace {
+
+using namespace ppa;
+using app::PoissonProblem;
+
+class PoissonP : public testing::TestWithParam<int> {};
+
+TEST_P(PoissonP, Version2MatchesVersion1Bitwise) {
+  // Same arithmetic per point, max-based convergence test => identical
+  // fields and iteration counts regardless of the process grid.
+  const int p = GetParam();
+  PoissonProblem prob;
+  prob.nx = 33;
+  prob.ny = 21;
+  prob.tolerance = 1e-6;
+  prob.g = [](double x, double y) { return x * x - y * y; };
+  prob.f = [](double, double) { return 0.0; };
+
+  const auto v1 = app::poisson_v1(prob);
+  const auto v2 = app::poisson_spmd(prob, p);
+  EXPECT_EQ(v1.iterations, v2.iterations);
+  ASSERT_EQ(v1.u.rows(), v2.u.rows());
+  for (std::size_t i = 0; i < v1.u.rows(); ++i) {
+    for (std::size_t j = 0; j < v1.u.cols(); ++j) {
+      EXPECT_EQ(v1.u(i, j), v2.u(i, j)) << "at (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST_P(PoissonP, ConvergesToLinearHarmonicExactly) {
+  // u = x + y is harmonic and exactly representable by the 5-point stencil:
+  // Jacobi must converge to it (up to the tolerance) from a zero interior.
+  const int p = GetParam();
+  PoissonProblem prob;
+  prob.nx = 17;
+  prob.ny = 17;
+  prob.tolerance = 1e-10;
+  prob.g = [](double x, double y) { return x + y; };
+  const auto r = app::poisson_spmd(prob, p);
+  const double h = 1.0 / static_cast<double>(prob.nx - 1);
+  for (std::size_t i = 0; i < prob.nx; ++i) {
+    for (std::size_t j = 0; j < prob.ny; ++j) {
+      const double expect = static_cast<double>(i) * h + static_cast<double>(j) * h;
+      EXPECT_NEAR(r.u(i, j), expect, 1e-7);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, PoissonP, testing::Values(1, 2, 3, 4, 6),
+                         [](const testing::TestParamInfo<int>& info) {
+                           std::string name = "P";
+                           name += std::to_string(info.param);
+                           return name;
+                         });
+
+TEST(PoissonApp, ManufacturedSolutionConverges) {
+  // u* = sin(pi x) sin(pi y): f = -2 pi^2 u*, g = 0. The discrete solution
+  // approaches u* to O(h^2).
+  PoissonProblem prob;
+  prob.nx = 33;
+  prob.ny = 33;
+  prob.tolerance = 1e-9;
+  prob.f = [](double x, double y) {
+    return -2.0 * std::numbers::pi * std::numbers::pi * std::sin(std::numbers::pi * x) *
+           std::sin(std::numbers::pi * y);
+  };
+  const auto r = app::poisson_spmd(prob, 4);
+  double max_err = 0.0;
+  const double h = 1.0 / 32.0;
+  for (std::size_t i = 0; i < prob.nx; ++i) {
+    for (std::size_t j = 0; j < prob.ny; ++j) {
+      const double exact = std::sin(std::numbers::pi * static_cast<double>(i) * h) *
+                           std::sin(std::numbers::pi * static_cast<double>(j) * h);
+      max_err = std::max(max_err, std::abs(r.u(i, j) - exact));
+    }
+  }
+  EXPECT_LT(max_err, 5e-3);  // discretization + iteration error at h = 1/32
+}
+
+TEST(PoissonApp, DiscreteMaximumPrinciple) {
+  // With f = 0 the converged solution's extrema lie on the boundary.
+  PoissonProblem prob;
+  prob.nx = 25;
+  prob.ny = 25;
+  prob.tolerance = 1e-8;
+  prob.g = [](double x, double y) {
+    return std::cos(3.0 * x) + 0.5 * std::sin(5.0 * y);
+  };
+  const auto r = app::poisson_spmd(prob, 4);
+  double bmin = 1e300, bmax = -1e300;
+  for (std::size_t i = 0; i < prob.nx; ++i) {
+    for (std::size_t j = 0; j < prob.ny; ++j) {
+      if (i == 0 || i == prob.nx - 1 || j == 0 || j == prob.ny - 1) {
+        bmin = std::min(bmin, r.u(i, j));
+        bmax = std::max(bmax, r.u(i, j));
+      }
+    }
+  }
+  const double slack = 1e-6;  // residual iteration error
+  for (std::size_t i = 1; i + 1 < prob.nx; ++i) {
+    for (std::size_t j = 1; j + 1 < prob.ny; ++j) {
+      EXPECT_GE(r.u(i, j), bmin - slack);
+      EXPECT_LE(r.u(i, j), bmax + slack);
+    }
+  }
+}
+
+TEST(PoissonApp, IterationCountGrowsWithResolution) {
+  // Jacobi's convergence slows as O(h^-2): a finer grid needs more sweeps.
+  PoissonProblem coarse, fine;
+  coarse.nx = coarse.ny = 9;
+  fine.nx = fine.ny = 17;
+  coarse.tolerance = fine.tolerance = 1e-6;
+  coarse.g = fine.g = [](double x, double y) { return x * y; };
+  const auto rc = app::poisson_v1(coarse);
+  const auto rf = app::poisson_v1(fine);
+  EXPECT_GT(rf.iterations, rc.iterations);
+}
+
+TEST(PoissonApp, MaxItersGuards) {
+  PoissonProblem prob;
+  prob.nx = prob.ny = 65;
+  prob.tolerance = 0.0;  // unreachable
+  prob.max_iters = 10;
+  prob.g = [](double x, double) { return x; };
+  const auto r = app::poisson_v1(prob);
+  EXPECT_EQ(r.iterations, 10u);
+}
+
+TEST(PoissonApp, PerIterationCommunicationPattern) {
+  // Paper Fig 14: each iteration = one boundary exchange + one allreduce.
+  constexpr int kP = 4;
+  PoissonProblem prob;
+  prob.nx = prob.ny = 17;
+  prob.tolerance = 1e-3;
+  prob.g = [](double x, double y) { return x - y; };
+
+  const auto pgrid = mpl::CartGrid2D::near_square(kP);
+  mpl::TraceSnapshot trace;
+  std::size_t iters = 0;
+  mpl::spmd_collect<int>(
+      kP,
+      [&](mpl::Process& p) {
+        const auto r = app::poisson_process(p, pgrid, prob);
+        if (p.rank() == 0) iters = r.iterations;
+        return 0;
+      },
+      &trace);
+  // One allreduce per iteration (counted once per rank) plus the final
+  // gather for output.
+  EXPECT_EQ(trace.op(mpl::Op::kAllreduce), iters * kP);
+  EXPECT_EQ(trace.op(mpl::Op::kGather), 2u * kP);  // header + payload gathers
+}
+
+}  // namespace

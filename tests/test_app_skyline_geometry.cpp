@@ -1,0 +1,204 @@
+// Tests for the skyline and geometry one-deep applications (paper sections
+// 3.6.1 and 3.6): correctness against the sequential oracles, the
+// sequential-equals-parallel guarantee, and edge cases.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/geometry/onedeep_closest_pair.hpp"
+#include "apps/geometry/onedeep_hull.hpp"
+#include "apps/skyline/onedeep_skyline.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace ppa;
+using algo::Building;
+using algo::Point2;
+using algo::Skyline;
+
+std::vector<Building> random_buildings(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Building> bs;
+  bs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double l = rng.uniform(0.0, 200.0);
+    bs.push_back({l, l + rng.uniform(0.5, 30.0), rng.uniform(1.0, 50.0)});
+  }
+  return bs;
+}
+
+std::vector<Point2> random_points(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(-50.0, 50.0), rng.uniform(-50.0, 50.0)});
+  }
+  return pts;
+}
+
+// ---------------------------------------------------- skyline conversions --
+
+TEST(SkylineApp, BuildingsSkylineRoundtrip) {
+  const auto bs = random_buildings(30, 4);
+  const auto s = algo::skyline_divide_and_conquer(bs);
+  const auto segments = app::skyline_to_buildings(s);
+  EXPECT_EQ(app::buildings_to_skyline(segments), s);
+}
+
+TEST(SkylineApp, EmptySkylineConversions) {
+  EXPECT_TRUE(app::skyline_to_buildings({}).empty());
+  EXPECT_TRUE(app::buildings_to_skyline({}).empty());
+}
+
+// ------------------------------------------------------------ skyline app --
+
+class SkylineAppP : public testing::TestWithParam<int> {};
+
+TEST_P(SkylineAppP, MatchesSequentialOracle) {
+  const int p = GetParam();
+  const auto bs = random_buildings(100, 42 + static_cast<std::uint64_t>(p));
+  const auto expected = algo::skyline_divide_and_conquer(bs);
+  EXPECT_EQ(app::onedeep_skyline(bs, p), expected);
+}
+
+TEST_P(SkylineAppP, SequentialEqualsParallel) {
+  const int p = GetParam();
+  const auto bs = random_buildings(80, 7 + static_cast<std::uint64_t>(p));
+  EXPECT_EQ(app::onedeep_skyline_sequential(bs, p), app::onedeep_skyline(bs, p));
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, SkylineAppP, testing::Values(1, 2, 3, 4, 6, 8),
+                         [](const testing::TestParamInfo<int>& info) {
+                           std::string name = "P";
+                           name += std::to_string(info.param);
+                           return name;
+                         });
+
+TEST(SkylineApp, DisjointTownsAcrossProcessBlocks) {
+  // Two far-apart clusters: the strip decomposition must not invent height
+  // between them.
+  std::vector<Building> bs{{0, 5, 10}, {2, 8, 6}, {100, 104, 3}, {101, 110, 8}};
+  const auto s = app::onedeep_skyline(bs, 4);
+  EXPECT_EQ(s, algo::skyline_divide_and_conquer(bs));
+  EXPECT_DOUBLE_EQ(algo::skyline_height_at(s, 50.0), 0.0);
+}
+
+TEST(SkylineApp, SingleBuildingManyProcesses) {
+  const std::vector<Building> bs{{1.0, 2.0, 5.0}};
+  EXPECT_EQ(app::onedeep_skyline(bs, 6), (Skyline{{1.0, 5.0}, {2.0, 0.0}}));
+}
+
+TEST(SkylineApp, EmptyInput) {
+  EXPECT_TRUE(app::onedeep_skyline({}, 4).empty());
+}
+
+TEST(SkylineApp, IdenticalBuildings) {
+  const std::vector<Building> bs(50, Building{3.0, 9.0, 4.0});
+  EXPECT_EQ(app::onedeep_skyline(bs, 5), (Skyline{{3.0, 4.0}, {9.0, 0.0}}));
+}
+
+// --------------------------------------------------------------- hull app --
+
+class HullAppP : public testing::TestWithParam<int> {};
+
+TEST_P(HullAppP, MatchesSequentialHull) {
+  const int p = GetParam();
+  const auto pts = random_points(300, 11 + static_cast<std::uint64_t>(p));
+  const auto expected = algo::convex_hull(pts);
+  EXPECT_EQ(app::onedeep_hull(pts, p), expected);
+}
+
+TEST_P(HullAppP, SequentialEqualsParallel) {
+  const int p = GetParam();
+  const auto pts = random_points(200, 23 + static_cast<std::uint64_t>(p));
+  EXPECT_EQ(app::onedeep_hull_sequential(pts, p), app::onedeep_hull(pts, p));
+}
+
+TEST_P(HullAppP, GatherBroadcastStrategyAgrees) {
+  const int p = GetParam();
+  const auto pts = random_points(150, 31 + static_cast<std::uint64_t>(p));
+  EXPECT_EQ(app::onedeep_hull(pts, p, onedeep::ParamStrategy::kRootBroadcast),
+            app::onedeep_hull(pts, p, onedeep::ParamStrategy::kReplicated));
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, HullAppP, testing::Values(1, 2, 3, 4, 7),
+                         [](const testing::TestParamInfo<int>& info) {
+                           std::string name = "P";
+                           name += std::to_string(info.param);
+                           return name;
+                         });
+
+TEST(HullApp, CollinearPoints) {
+  std::vector<Point2> pts;
+  for (int i = 0; i < 40; ++i) pts.push_back({static_cast<double>(i), 2.0});
+  const auto h = app::onedeep_hull(pts, 4);
+  EXPECT_EQ(h.size(), 2u);
+}
+
+TEST(HullApp, FewerPointsThanProcesses) {
+  const std::vector<Point2> pts{{0, 0}, {1, 0}, {0, 1}};
+  EXPECT_EQ(app::onedeep_hull(pts, 8).size(), 3u);
+}
+
+// ------------------------------------------------------- closest pair app --
+
+class ClosestPairAppP : public testing::TestWithParam<int> {};
+
+TEST_P(ClosestPairAppP, MatchesSequentialAlgorithm) {
+  const int p = GetParam();
+  const auto pts = random_points(500, 3 + static_cast<std::uint64_t>(p));
+  const double expected =
+      algo::closest_pair(std::span<const Point2>(pts)).distance;
+  EXPECT_DOUBLE_EQ(app::onedeep_closest_pair(pts, p), expected);
+}
+
+TEST_P(ClosestPairAppP, PlantedCrossBoundaryPair) {
+  const int p = GetParam();
+  auto pts = random_points(300, 101 + static_cast<std::uint64_t>(p));
+  // Plant the closest pair far apart in rank order but adjacent in x, so it
+  // almost surely straddles a slab boundary after the split phase.
+  pts.insert(pts.begin(), {0.001, 0.0});
+  pts.push_back({-0.001, 0.0});
+  const double expected =
+      algo::closest_pair(std::span<const Point2>(pts)).distance;
+  EXPECT_DOUBLE_EQ(app::onedeep_closest_pair(pts, p), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, ClosestPairAppP, testing::Values(1, 2, 3, 4, 6, 8),
+                         [](const testing::TestParamInfo<int>& info) {
+                           std::string name = "P";
+                           name += std::to_string(info.param);
+                           return name;
+                         });
+
+TEST(ClosestPairApp, FewerPointsThanProcesses) {
+  // Each slab gets at most one point: the infinite-delta fallback path.
+  const std::vector<Point2> pts{{0, 0}, {10, 0}, {10, 7}, {30, 0}};
+  EXPECT_DOUBLE_EQ(app::onedeep_closest_pair(pts, 8), 7.0);
+}
+
+TEST(ClosestPairApp, DuplicatePointsAcrossSlabs) {
+  std::vector<Point2> pts = random_points(100, 55);
+  pts.push_back(pts.front());  // exact duplicate -> distance 0
+  EXPECT_DOUBLE_EQ(app::onedeep_closest_pair(pts, 4), 0.0);
+}
+
+TEST(ClosestPairApp, ClusteredPlusOutliers) {
+  std::vector<Point2> pts;
+  Rng rng(66);
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back({rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)});
+  }
+  pts.push_back({1000.0, 1000.0});
+  pts.push_back({-1000.0, 1000.0});
+  const double expected =
+      algo::closest_pair(std::span<const Point2>(pts)).distance;
+  EXPECT_DOUBLE_EQ(app::onedeep_closest_pair(pts, 5), expected);
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+// Tests for the branch-and-bound archetype (the paper's future-work
+// "nondeterministic archetype") and its knapsack application: exactness
+// against a DP oracle, sequential == parallel optima (the result is
+// deterministic even though the search is not), and pruning sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "apps/knapsack/knapsack.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace ppa;
+using app::KnapsackItem;
+using app::KnapsackProblem;
+
+KnapsackProblem random_problem(std::size_t n, int capacity, std::uint64_t seed,
+                               std::vector<std::pair<int, double>>* oracle_items) {
+  Rng rng(seed);
+  KnapsackProblem prob;
+  prob.capacity = capacity;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int w = static_cast<int>(rng.uniform_int(1, 25));
+    const double v = rng.uniform(1.0, 40.0);
+    prob.items.push_back({static_cast<double>(w), v});
+    if (oracle_items != nullptr) oracle_items->emplace_back(w, v);
+  }
+  return prob;
+}
+
+TEST(Knapsack, TinyKnownInstance) {
+  // Items (w, v): (2, 3), (3, 4), (4, 5); capacity 5 -> take (2,3)+(3,4)=7.
+  KnapsackProblem prob;
+  prob.capacity = 5.0;
+  prob.items = {{2.0, 3.0}, {3.0, 4.0}, {4.0, 5.0}};
+  EXPECT_DOUBLE_EQ(app::knapsack_sequential(prob), 7.0);
+  EXPECT_DOUBLE_EQ(app::knapsack_parallel(prob, 3), 7.0);
+}
+
+TEST(Knapsack, EmptyAndInfeasible) {
+  KnapsackProblem empty;
+  empty.capacity = 10.0;
+  EXPECT_DOUBLE_EQ(app::knapsack_sequential(empty), 0.0);
+  KnapsackProblem heavy;
+  heavy.capacity = 1.0;
+  heavy.items = {{5.0, 100.0}, {7.0, 200.0}};
+  EXPECT_DOUBLE_EQ(app::knapsack_sequential(heavy), 0.0);
+  EXPECT_DOUBLE_EQ(app::knapsack_parallel(heavy, 4), 0.0);
+}
+
+TEST(Knapsack, AllItemsFit) {
+  KnapsackProblem prob;
+  prob.capacity = 100.0;
+  prob.items = {{2.0, 3.0}, {3.0, 4.0}, {4.0, 5.0}};
+  EXPECT_DOUBLE_EQ(app::knapsack_sequential(prob), 12.0);
+}
+
+class KnapsackP : public testing::TestWithParam<int> {};
+
+TEST_P(KnapsackP, MatchesDpOracleAndSequential) {
+  const int p = GetParam();
+  for (std::uint64_t seed : {1u, 7u, 19u}) {
+    std::vector<std::pair<int, double>> oracle_items;
+    const auto prob = random_problem(22, 60, seed, &oracle_items);
+    const double expected = app::knapsack_dp_oracle(oracle_items, 60);
+    const double seq = app::knapsack_sequential(prob);
+    const double par = app::knapsack_parallel(prob, p);
+    EXPECT_NEAR(seq, expected, 1e-9) << "seed " << seed;
+    EXPECT_NEAR(par, expected, 1e-9) << "seed " << seed;
+    // Sequential and parallel agree exactly: the optimum is deterministic
+    // even though the search order is not.
+    EXPECT_DOUBLE_EQ(seq, par);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, KnapsackP, testing::Values(1, 2, 3, 4, 8),
+                         [](const testing::TestParamInfo<int>& info) {
+                           std::string name = "P";
+                           name += std::to_string(info.param);
+                           return name;
+                         });
+
+TEST(Knapsack, LargerInstanceStillExact) {
+  std::vector<std::pair<int, double>> oracle_items;
+  const auto prob = random_problem(40, 120, 42, &oracle_items);
+  const double expected = app::knapsack_dp_oracle(oracle_items, 120);
+  EXPECT_NEAR(app::knapsack_parallel(prob, 4), expected, 1e-9);
+}
+
+TEST(Knapsack, BoundIsAdmissible) {
+  // The fractional bound at the root must not exceed the true optimum (in
+  // negated space: bound <= -optimum).
+  std::vector<std::pair<int, double>> oracle_items;
+  const auto prob = random_problem(18, 50, 5, &oracle_items);
+  app::KnapsackSpec spec(prob);
+  const double root_bound = spec.bound(app::KnapsackSpec::Node{});
+  const double optimum = app::knapsack_dp_oracle(oracle_items, 50);
+  EXPECT_LE(root_bound, -optimum + 1e-9);
+}
+
+TEST(Knapsack, CommunicationIsAllreduceRoundsOnly) {
+  std::vector<std::pair<int, double>> oracle_items;
+  const auto prob = random_problem(20, 55, 9, &oracle_items);
+  mpl::TraceSnapshot trace;
+  mpl::spmd_collect<double>(
+      4,
+      [&](mpl::Process& p) {
+        app::KnapsackSpec spec(prob);
+        return bnb::solve_process(spec, p, app::KnapsackSpec::Node{});
+      },
+      &trace);
+  EXPECT_GT(trace.op(mpl::Op::kAllreduce), 0u);
+  EXPECT_EQ(trace.op(mpl::Op::kAlltoall), 0u);
+  EXPECT_EQ(trace.op(mpl::Op::kGather), 0u);
+  EXPECT_EQ(trace.op(mpl::Op::kBarrier), 0u);
+}
+
+}  // namespace

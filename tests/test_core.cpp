@@ -1,0 +1,333 @@
+// Tests for the archetype core: parfor policies, the one-deep
+// divide-and-conquer skeleton (with toy specs exercising every combination
+// of degenerate phases), and the traditional divide-and-conquer baseline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/core.hpp"
+#include "mpl/spmd.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace ppa;
+
+// ----------------------------------------------------------------- parfor --
+
+TEST(Parfor, SequentialVisitsAllInOrder) {
+  std::vector<std::size_t> visited;
+  parfor(5, seq, [&](std::size_t i) { visited.push_back(i); });
+  EXPECT_EQ(visited, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Parfor, ParallelVisitsAllExactlyOnce) {
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> counts(kN);
+  parfor(kN, par(4), [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(Parfor, ParallelEqualsSequentialForIndependentBodies) {
+  // The paper's claim: replacing parfor with for gives identical results
+  // for deterministic programs with independent iterations.
+  constexpr std::size_t kN = 257;
+  std::vector<double> a(kN), b(kN);
+  const auto body = [](std::vector<double>& out) {
+    return [&out](std::size_t i) {
+      out[i] = static_cast<double>(i) * 1.5 + 1.0;
+    };
+  };
+  parfor(kN, seq, body(a));
+  parfor(kN, par(7), body(b));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Parfor, ZeroIterations) {
+  int calls = 0;
+  parfor(0, seq, [&](std::size_t) { ++calls; });
+  parfor(0, par(4), [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(Parfor, MoreWorkersThanIterations) {
+  std::vector<std::atomic<int>> counts(3);
+  parfor(3, par(8), [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+// ---------------------------------------------------- one-deep skeleton ----
+
+// Toy spec 1: degenerate split + degenerate merge ("embarrassingly
+// parallel"): square every element locally.
+struct SquareSpec {
+  using value_type = int;
+  void local_solve(std::vector<int>& local) const {
+    for (auto& v : local) v *= v;
+  }
+};
+
+// Toy spec 2: degenerate split, merge that globally sorts blocks by their
+// minimum using a single splitter per process — a mini-mergesort stand-in
+// that exercises the full merge dataflow deterministically.
+struct MergeOnlySpec {
+  using value_type = int;
+  using merge_sample_type = int;
+  using merge_param_type = int;
+
+  void local_solve(std::vector<int>& local) const {
+    std::sort(local.begin(), local.end());
+  }
+  std::vector<int> merge_sample(const std::vector<int>& local) const {
+    return local;  // sample everything (tiny inputs in tests)
+  }
+  std::vector<int> merge_params(const std::vector<int>& all_samples,
+                                int nparts) const {
+    // Exact splitters from the full sample: element ranks at block edges.
+    std::vector<int> sorted = all_samples;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<int> splitters;
+    for (int q = 1; q < nparts; ++q) {
+      const auto idx = block_range(sorted.size(), static_cast<std::size_t>(nparts),
+                                   static_cast<std::size_t>(q))
+                           .lo;
+      splitters.push_back(idx < sorted.size() ? sorted[idx]
+                                              : std::numeric_limits<int>::max());
+    }
+    return splitters;
+  }
+  std::vector<std::vector<int>> repartition(std::vector<int> local,
+                                            const std::vector<int>& splitters,
+                                            int nparts) const {
+    std::vector<std::vector<int>> parts(static_cast<std::size_t>(nparts));
+    for (int v : local) {
+      // Block q holds values v with exactly q splitters <= v (splitters mark
+      // block starts), which is upper_bound's return index.
+      const auto it = std::upper_bound(splitters.begin(), splitters.end(), v);
+      parts[static_cast<std::size_t>(it - splitters.begin())].push_back(v);
+    }
+    return parts;
+  }
+  std::vector<int> local_merge(std::vector<std::vector<int>> parts) const {
+    std::vector<int> out;
+    for (auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+};
+
+// Toy spec 3: non-degenerate split, degenerate merge (quicksort-shaped):
+// route values to blocks by range, then sort locally.
+struct SplitOnlySpec {
+  using value_type = int;
+  using split_sample_type = int;
+  using split_param_type = int;
+
+  std::vector<int> split_sample(const std::vector<int>& local) const { return local; }
+  std::vector<int> split_params(const std::vector<int>& all_samples,
+                                int nparts) const {
+    std::vector<int> sorted = all_samples;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<int> pivots;
+    for (int q = 1; q < nparts; ++q) {
+      const auto idx = block_range(sorted.size(), static_cast<std::size_t>(nparts),
+                                   static_cast<std::size_t>(q))
+                           .lo;
+      pivots.push_back(idx < sorted.size() ? sorted[idx]
+                                           : std::numeric_limits<int>::max());
+    }
+    return pivots;
+  }
+  std::vector<std::vector<int>> split_partition(std::vector<int> local,
+                                                const std::vector<int>& pivots,
+                                                int nparts) const {
+    std::vector<std::vector<int>> parts(static_cast<std::size_t>(nparts));
+    for (int v : local) {
+      const auto it = std::lower_bound(pivots.begin(), pivots.end(), v);
+      std::size_t q = static_cast<std::size_t>(it - pivots.begin());
+      if (it != pivots.end() && *it == v) ++q;  // values equal to pivot go right
+      if (q >= static_cast<std::size_t>(nparts)) q = static_cast<std::size_t>(nparts) - 1;
+      parts[q].push_back(v);
+    }
+    return parts;
+  }
+  void local_solve(std::vector<int>& local) const {
+    std::sort(local.begin(), local.end());
+  }
+};
+
+static_assert(onedeep::Spec<SquareSpec>);
+static_assert(onedeep::Spec<MergeOnlySpec>);
+static_assert(onedeep::HasMergePhase<MergeOnlySpec>);
+static_assert(!onedeep::HasSplitPhase<MergeOnlySpec>);
+static_assert(onedeep::HasSplitPhase<SplitOnlySpec>);
+static_assert(!onedeep::HasMergePhase<SplitOnlySpec>);
+static_assert(!onedeep::HasSplitPhase<SquareSpec>);
+static_assert(!onedeep::HasMergePhase<SquareSpec>);
+
+TEST(OneDeep, BlockDistributeRoundtrip) {
+  const auto data = random_ints(101, -50, 50, 3);
+  const auto locals = onedeep::block_distribute(data, 7);
+  EXPECT_EQ(locals.size(), 7u);
+  EXPECT_EQ(onedeep::gather_blocks(locals), data);
+}
+
+TEST(OneDeep, DegeneratePhasesSequential) {
+  SquareSpec spec;
+  auto locals = onedeep::block_distribute(std::vector<int>{1, 2, 3, 4, 5}, 2);
+  const auto out = onedeep::run_sequential(spec, std::move(locals));
+  EXPECT_EQ(onedeep::gather_blocks(out), (std::vector<int>{1, 4, 9, 16, 25}));
+}
+
+TEST(OneDeep, MergePhaseSortsAcrossBlocks) {
+  MergeOnlySpec spec;
+  const auto data = random_ints(64, -100, 100, 17);
+  auto locals = onedeep::block_distribute(data, 4);
+  const auto out = onedeep::run_sequential(spec, std::move(locals));
+  const auto result = onedeep::gather_blocks(out);
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(result, expected);
+}
+
+TEST(OneDeep, SplitPhaseSortsAcrossBlocks) {
+  SplitOnlySpec spec;
+  const auto data = random_ints(80, -1000, 1000, 23);
+  auto locals = onedeep::block_distribute(data, 5);
+  const auto out = onedeep::run_sequential(spec, std::move(locals));
+  const auto result = onedeep::gather_blocks(out);
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(result, expected);
+}
+
+class OneDeepP : public testing::TestWithParam<int> {};
+
+TEST_P(OneDeepP, SequentialEqualsParallelMergeSpec) {
+  // The archetype's key guarantee: the sequentially executed version-1
+  // algorithm and the SPMD version-2 algorithm produce identical results.
+  const int p = GetParam();
+  const auto data = random_ints(200, -500, 500, 41);
+  MergeOnlySpec spec;
+  const auto seq_out =
+      onedeep::run_sequential(spec, onedeep::block_distribute(data, p));
+
+  const auto par_out = mpl::spmd_collect<std::vector<int>>(p, [&](mpl::Process& proc) {
+    MergeOnlySpec local_spec;
+    auto local = onedeep::block_distribute(data, p)[static_cast<std::size_t>(proc.rank())];
+    return onedeep::run_process(local_spec, proc, std::move(local));
+  });
+  EXPECT_EQ(par_out, seq_out);
+}
+
+TEST_P(OneDeepP, SequentialEqualsParallelSplitSpec) {
+  const int p = GetParam();
+  const auto data = random_ints(150, 0, 10000, 43);
+  SplitOnlySpec spec;
+  const auto seq_out =
+      onedeep::run_sequential(spec, onedeep::block_distribute(data, p));
+  const auto par_out = mpl::spmd_collect<std::vector<int>>(p, [&](mpl::Process& proc) {
+    SplitOnlySpec local_spec;
+    auto local = onedeep::block_distribute(data, p)[static_cast<std::size_t>(proc.rank())];
+    return onedeep::run_process(local_spec, proc, std::move(local));
+  });
+  EXPECT_EQ(par_out, seq_out);
+}
+
+TEST_P(OneDeepP, RootBroadcastStrategyMatchesReplicated) {
+  const int p = GetParam();
+  const auto data = random_ints(120, -300, 300, 47);
+  const auto run_with = [&](onedeep::ParamStrategy strategy) {
+    return mpl::spmd_collect<std::vector<int>>(p, [&](mpl::Process& proc) {
+      MergeOnlySpec local_spec;
+      auto local =
+          onedeep::block_distribute(data, p)[static_cast<std::size_t>(proc.rank())];
+      return onedeep::run_process(local_spec, proc, std::move(local), strategy);
+    });
+  };
+  EXPECT_EQ(run_with(onedeep::ParamStrategy::kReplicated),
+            run_with(onedeep::ParamStrategy::kRootBroadcast));
+}
+
+TEST_P(OneDeepP, MergePhaseUsesAlltoallPattern) {
+  // Communication-pattern assertion: with the replicated parameter strategy
+  // the merge phase needs exactly one allgather + one all-to-all.
+  const int p = GetParam();
+  if (p < 2) GTEST_SKIP() << "no communication with one process";
+  const auto data = random_ints(60, 0, 100, 53);
+  mpl::TraceSnapshot trace;
+  mpl::spmd_collect<std::vector<int>>(
+      p,
+      [&](mpl::Process& proc) {
+        MergeOnlySpec local_spec;
+        auto local =
+            onedeep::block_distribute(data, p)[static_cast<std::size_t>(proc.rank())];
+        return onedeep::run_process(local_spec, proc, std::move(local));
+      },
+      &trace);
+  EXPECT_EQ(trace.op(mpl::Op::kAlltoall), static_cast<std::uint64_t>(p));
+  EXPECT_EQ(trace.op(mpl::Op::kAllgather), static_cast<std::uint64_t>(p));
+  EXPECT_EQ(trace.op(mpl::Op::kGather), 0u);
+  EXPECT_EQ(trace.op(mpl::Op::kBroadcast), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, OneDeepP, testing::Values(1, 2, 3, 4, 6, 8),
+                         [](const testing::TestParamInfo<int>& info) {
+                           std::string name = "P";
+                           name += std::to_string(info.param);
+                           return name;
+                         });
+
+// -------------------------------------------------- traditional D&C -------
+
+// Sum over a range via divide and conquer (associative merge).
+long dc_sum(std::vector<long> xs, int depth) {
+  using Problem = std::vector<long>;
+  return dc::divide_and_conquer<Problem, long>(
+      std::move(xs),
+      [](const Problem& p) { return p.size() <= 2; },
+      [](Problem p) { return std::accumulate(p.begin(), p.end(), 0L); },
+      [](Problem p) {
+        const auto mid = static_cast<std::ptrdiff_t>(p.size() / 2);
+        Problem left(p.begin(), p.begin() + mid);
+        Problem right(p.begin() + mid, p.end());
+        std::vector<Problem> subs;
+        subs.push_back(std::move(left));
+        subs.push_back(std::move(right));
+        return subs;
+      },
+      [](std::vector<long> sols) { return sols[0] + sols[1]; }, depth);
+}
+
+TEST(TraditionalDC, SequentialSum) {
+  std::vector<long> xs(100);
+  std::iota(xs.begin(), xs.end(), 1);
+  EXPECT_EQ(dc_sum(xs, 0), 5050);
+}
+
+TEST(TraditionalDC, ParallelMatchesSequential) {
+  std::vector<long> xs(1000);
+  std::iota(xs.begin(), xs.end(), 1);
+  EXPECT_EQ(dc_sum(xs, 3), dc_sum(xs, 0));
+}
+
+TEST(TraditionalDC, BaseCaseOnly) {
+  EXPECT_EQ(dc_sum({7}, 2), 7);
+  EXPECT_EQ(dc_sum({}, 2), 0);
+}
+
+TEST(TraditionalDC, ForkDepthFor) {
+  EXPECT_EQ(dc::fork_depth_for(1), 0);
+  EXPECT_EQ(dc::fork_depth_for(2), 1);
+  EXPECT_EQ(dc::fork_depth_for(3), 2);
+  EXPECT_EQ(dc::fork_depth_for(4), 2);
+  EXPECT_EQ(dc::fork_depth_for(8), 3);
+  EXPECT_EQ(dc::fork_depth_for(9), 4);
+}
+
+}  // namespace

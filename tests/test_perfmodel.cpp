@@ -1,0 +1,194 @@
+// Tests for the archetype performance models: basic sanity (monotone
+// costs, positive times) and — crucially — the *figure shape* assertions:
+// each paper figure's qualitative behaviour must emerge from the model
+// (one-deep beats traditional; FFT speedup flattens low; Poisson and CFD
+// scale near-linearly; EM peaks around P=16 then declines; the spectral
+// code is superlinear at small P relative to its 5-processor base).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "perfmodel/machine.hpp"
+#include "perfmodel/models.hpp"
+
+namespace {
+
+using namespace ppa::perf;
+
+std::vector<int> range_procs(int lo, int hi, int step = 1) {
+  std::vector<int> out;
+  for (int p = lo; p <= hi; p += step) out.push_back(p);
+  return out;
+}
+
+double speedup_at(const std::vector<SpeedupPoint>& c, int p) {
+  for (const auto& pt : c) {
+    if (pt.procs == p) return pt.speedup;
+  }
+  ADD_FAILURE() << "no point at P=" << p;
+  return 0.0;
+}
+
+// ----------------------------------------------------------------- basics --
+
+TEST(Machines, PresetsAreOrdered) {
+  // Later machines are faster in every respect.
+  const auto delta = intel_delta();
+  const auto sp = ibm_sp();
+  EXPECT_LT(sp.alpha, delta.alpha);
+  EXPECT_LT(sp.beta, delta.beta);
+  EXPECT_LT(sp.elem_op, delta.elem_op);
+  EXPECT_GT(sp.memory_bytes, delta.memory_bytes);
+}
+
+TEST(Collectives, CostsScaleSanely) {
+  const CollectiveCost cc{ibm_sp()};
+  EXPECT_EQ(CollectiveCost::ceil_log2(1), 0);
+  EXPECT_EQ(CollectiveCost::ceil_log2(2), 1);
+  EXPECT_EQ(CollectiveCost::ceil_log2(5), 3);
+  EXPECT_EQ(CollectiveCost::ceil_log2(16), 4);
+  // Broadcast is logarithmic: doubling P adds one step.
+  EXPECT_NEAR(cc.broadcast(16, 100) / cc.broadcast(4, 100), 2.0, 1e-9);
+  // All-to-all is linear in P for fixed pair size.
+  EXPECT_GT(cc.alltoall(32, 1000), cc.alltoall(16, 1000) * 1.9);
+  EXPECT_EQ(cc.alltoall(1, 1000), 0.0);
+}
+
+TEST(Models, FrameCrossingLatencyPenalty) {
+  const auto sp = ibm_sp();
+  EXPECT_DOUBLE_EQ(effective_alpha(sp, 16), sp.alpha);
+  EXPECT_DOUBLE_EQ(effective_alpha(sp, 17), 5.0 * sp.alpha);
+  EXPECT_DOUBLE_EQ(effective_alpha(sp, 17, 0), sp.alpha);  // disabled
+  EXPECT_DOUBLE_EQ(effective_beta(sp, 16), sp.beta);
+  EXPECT_DOUBLE_EQ(effective_beta(sp, 17), 3.5 * sp.beta);
+}
+
+// ---------------------------------------------------------------- Fig 6 ----
+
+TEST(Fig6Model, OneDeepBeatsTraditionalEverywhere) {
+  const auto m = intel_delta();
+  const SortWorkload w;
+  for (int p : {2, 4, 8, 16, 32, 64}) {
+    EXPECT_LT(mergesort_onedeep_time(m, w, p), mergesort_traditional_time(m, w, p))
+        << "P=" << p;
+  }
+}
+
+TEST(Fig6Model, TraditionalSaturatesOneDeepKeepsScaling) {
+  const auto m = intel_delta();
+  const SortWorkload w;
+  const auto procs = range_procs(1, 64);
+  const auto onedeep = fig6_onedeep(m, w, procs);
+  const auto trad = fig6_traditional(m, w, procs);
+  // One-deep at 64 is a large fraction of perfect; traditional saturates
+  // far below (the paper's Fig 6 shape).
+  EXPECT_GT(speedup_at(onedeep, 64), 35.0);
+  EXPECT_LT(speedup_at(trad, 64), 15.0);
+  // Traditional gains little from 32 -> 64.
+  EXPECT_LT(speedup_at(trad, 64) / speedup_at(trad, 32), 1.3);
+  // One-deep is still gaining substantially.
+  EXPECT_GT(speedup_at(onedeep, 64) / speedup_at(onedeep, 32), 1.5);
+  // Nobody beats perfect speedup.
+  for (const auto& pt : onedeep) EXPECT_LE(pt.speedup, pt.procs + 1e-9);
+  for (const auto& pt : trad) EXPECT_LE(pt.speedup, pt.procs + 1e-9);
+}
+
+// --------------------------------------------------------------- Fig 12 ----
+
+TEST(Fig12Model, FftSpeedupIsDisappointing) {
+  const auto m = ibm_sp();
+  const FftWorkload w;
+  const auto curve = fig12_fft(m, w, range_procs(1, 32));
+  // The paper: flattens at a small single-digit speedup by P=32 ("a result
+  // of too small a ratio of computation to communication").
+  const double s32 = speedup_at(curve, 32);
+  EXPECT_GT(s32, 2.0);
+  EXPECT_LT(s32, 6.0);
+  // Diminishing returns: the last doubling adds < 25%.
+  EXPECT_LT(s32 / speedup_at(curve, 16), 1.25);
+  // Efficiency at 32 is poor (that is the figure's whole point).
+  EXPECT_LT(s32 / 32.0, 0.15);
+}
+
+// --------------------------------------------------------------- Fig 15 ----
+
+TEST(Fig15Model, PoissonScalesNearLinearly) {
+  const auto m = ibm_sp();
+  const PoissonWorkload w;
+  // The paper plots measurements at a handful of sizes; check those.
+  const std::vector<int> measured{1, 2, 4, 8, 16, 24, 32, 40};
+  const auto curve = fig15_poisson(m, w, measured);
+  const double s40 = speedup_at(curve, 40);
+  EXPECT_GT(s40, 30.0);  // paper: ~35 at 40
+  EXPECT_LE(s40, 40.0);
+  // Monotone increasing across the measured sizes.
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GT(curve[i].speedup, curve[i - 1].speedup);
+  }
+}
+
+// --------------------------------------------------------------- Fig 16 ----
+
+TEST(Fig16Model, CfdNearPerfectTo100) {
+  const auto m = intel_delta();
+  const CfdWorkload w;
+  const auto curve = fig16_cfd(m, w, range_procs(10, 100, 10));
+  const double s100 = speedup_at(curve, 100);
+  EXPECT_GT(s100, 70.0);  // paper: close to perfect at 100
+  EXPECT_LE(s100, 100.0);
+  EXPECT_GT(s100 / 100.0, 0.7);  // efficiency stays high
+}
+
+// --------------------------------------------------------------- Fig 17 ----
+
+TEST(Fig17Model, EmPeaksNearSixteenThenDeclines) {
+  const auto m = ibm_sp();
+  const EmWorkload w;
+  const auto curve = fig17_em(m, w, range_procs(1, 18));
+  const double s16 = speedup_at(curve, 16);
+  const double s17 = speedup_at(curve, 17);
+  const double s18 = speedup_at(curve, 18);
+  // The paper: "performance ... decrease[s] for more than 16 processors".
+  EXPECT_GT(s16, s17);
+  EXPECT_GT(s16, s18);
+  // And speedup grows up to 16 overall (allow local jitter from
+  // factorization quality, but the envelope rises).
+  EXPECT_GT(s16, speedup_at(curve, 8));
+  EXPECT_GT(speedup_at(curve, 8), speedup_at(curve, 4));
+}
+
+// --------------------------------------------------------------- Fig 18 ----
+
+TEST(Fig18Model, SpectralSuperlinearAtSmallPRelativeToBase) {
+  const auto m = ibm_sp();
+  const SpectralWorkload w;
+  std::vector<int> procs;
+  for (int x = 1; x <= 8; ++x) procs.push_back(5 * x);
+  const auto curve = fig18_spectral(m, w, procs);
+  // Relative speedup at the base is 5 by construction.
+  EXPECT_NEAR(speedup_at(curve, 5), 5.0, 1e-9);
+  // Paper: "better-than-ideal speedup for small numbers of processors"
+  // because the base run paged.
+  EXPECT_GT(speedup_at(curve, 10), 10.0);
+  // The relative advantage fades as communication grows with P.
+  EXPECT_LT(speedup_at(curve, 40) / 40.0, speedup_at(curve, 10) / 10.0);
+  EXPECT_LT(speedup_at(curve, 40), 55.0);
+  // Still monotone increasing in absolute terms.
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GT(curve[i].speedup, curve[i - 1].speedup);
+  }
+}
+
+TEST(Fig18Model, NoPagingWithoutMemoryPressure) {
+  auto m = ibm_sp();
+  m.memory_bytes = 1e12;  // effectively infinite
+  const SpectralWorkload w;
+  std::vector<int> procs;
+  for (int x = 1; x <= 8; ++x) procs.push_back(5 * x);
+  const auto curve = fig18_spectral(m, w, procs);
+  // Without paging the relative curve cannot exceed the ideal line.
+  for (const auto& pt : curve) EXPECT_LE(pt.speedup, pt.procs + 1e-9);
+}
+
+}  // namespace

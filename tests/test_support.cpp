@@ -1,0 +1,340 @@
+// Unit tests for ppa_support: arrays, partitioning, RNG, statistics,
+// plotting, and image output.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+
+#include "support/ascii_plot.hpp"
+#include "support/image.hpp"
+#include "support/ndarray.hpp"
+#include "support/partition.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+using ppa::Array2D;
+using ppa::Array3D;
+using ppa::block_owner;
+using ppa::block_range;
+using ppa::Rng;
+
+// ---------------------------------------------------------------- Array2D --
+
+TEST(Array2D, DefaultIsEmpty) {
+  Array2D<int> a;
+  EXPECT_EQ(a.rows(), 0u);
+  EXPECT_EQ(a.cols(), 0u);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(Array2D, ConstructFillsWithInit) {
+  Array2D<int> a(3, 4, 7);
+  EXPECT_EQ(a.rows(), 3u);
+  EXPECT_EQ(a.cols(), 4u);
+  EXPECT_EQ(a.size(), 12u);
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) EXPECT_EQ(a(i, j), 7);
+}
+
+TEST(Array2D, RowMajorLayout) {
+  Array2D<int> a(2, 3);
+  int v = 0;
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = v++;
+  // Flat storage must be 0,1,2,3,4,5.
+  const auto flat = a.flat();
+  for (int k = 0; k < 6; ++k) EXPECT_EQ(flat[static_cast<std::size_t>(k)], k);
+}
+
+TEST(Array2D, RowSpanIsContiguousView) {
+  Array2D<double> a(4, 5, 0.0);
+  auto r2 = a.row(2);
+  ASSERT_EQ(r2.size(), 5u);
+  r2[3] = 42.0;
+  EXPECT_EQ(a(2, 3), 42.0);
+}
+
+TEST(Array2D, AtThrowsOutOfRange) {
+  Array2D<int> a(2, 2);
+  EXPECT_THROW(a.at(2, 0), std::out_of_range);
+  EXPECT_THROW(a.at(0, 2), std::out_of_range);
+  EXPECT_NO_THROW(a.at(1, 1));
+}
+
+TEST(Array2D, EqualityComparesShapeAndData) {
+  Array2D<int> a(2, 2, 1), b(2, 2, 1), c(2, 2, 2), d(4, 1, 1);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+}
+
+TEST(Array2D, FillOverwrites) {
+  Array2D<int> a(2, 2, 1);
+  a.fill(9);
+  for (int x : a.flat()) EXPECT_EQ(x, 9);
+}
+
+TEST(Array2D, TransposeSwapsAxes) {
+  Array2D<int> a(2, 3);
+  int v = 0;
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = v++;
+  const auto t = ppa::transpose(a);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(t(j, i), a(i, j));
+  // Double transpose is the identity.
+  EXPECT_EQ(ppa::transpose(t), a);
+}
+
+// ---------------------------------------------------------------- Array3D --
+
+TEST(Array3D, IndexingAndLayout) {
+  Array3D<int> a(2, 3, 4);
+  int v = 0;
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      for (std::size_t k = 0; k < 4; ++k) a(i, j, k) = v++;
+  const auto flat = a.flat();
+  for (int k = 0; k < 24; ++k) EXPECT_EQ(flat[static_cast<std::size_t>(k)], k);
+  EXPECT_EQ(a.at(1, 2, 3), 23);
+  EXPECT_THROW(a.at(2, 0, 0), std::out_of_range);
+}
+
+// ----------------------------------------------------------- block_range --
+
+TEST(BlockRange, CoversWithoutOverlap) {
+  for (std::size_t n : {0u, 1u, 5u, 16u, 17u, 100u}) {
+    for (std::size_t parts : {1u, 2u, 3u, 7u, 16u}) {
+      std::size_t covered = 0;
+      std::size_t prev_hi = 0;
+      for (std::size_t p = 0; p < parts; ++p) {
+        const auto r = block_range(n, parts, p);
+        EXPECT_EQ(r.lo, prev_hi) << "blocks must be contiguous";
+        prev_hi = r.hi;
+        covered += r.size();
+      }
+      EXPECT_EQ(prev_hi, n);
+      EXPECT_EQ(covered, n);
+    }
+  }
+}
+
+TEST(BlockRange, BalancedWithinOne) {
+  const std::size_t n = 103, parts = 7;
+  std::size_t lo = n, hi = 0;
+  for (std::size_t p = 0; p < parts; ++p) {
+    const auto r = block_range(n, parts, p);
+    lo = std::min(lo, r.size());
+    hi = std::max(hi, r.size());
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(BlockRange, OwnerIsInverse) {
+  for (std::size_t n : {1u, 13u, 64u, 101u}) {
+    for (std::size_t parts : {1u, 2u, 5u, 8u, 32u}) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t owner = block_owner(n, parts, i);
+        ASSERT_LT(owner, parts);
+        EXPECT_TRUE(block_range(n, parts, owner).contains(i))
+            << "n=" << n << " parts=" << parts << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(BlockRange, MorePartsThanElements) {
+  // Trailing blocks must be empty, leading blocks hold one element each.
+  const std::size_t n = 3, parts = 8;
+  for (std::size_t p = 0; p < parts; ++p) {
+    const auto r = block_range(n, parts, p);
+    EXPECT_EQ(r.size(), p < n ? 1u : 0u);
+  }
+}
+
+// -------------------------------------------------------------------- Rng --
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformIntCoversEndpoints) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng rng(42);
+  const int n = 20000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(Rng, HelpersDeterministic) {
+  const auto a = ppa::random_ints(50, -10, 10, 99);
+  const auto b = ppa::random_ints(50, -10, 10, 99);
+  EXPECT_EQ(a, b);
+  for (int v : a) {
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, 10);
+  }
+}
+
+// ------------------------------------------------------------------ stats --
+
+TEST(Stats, SummaryOfKnownSample) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto s = ppa::summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, EvenCountMedianAveragesMiddle) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(ppa::summarize(xs).median, 2.5);
+}
+
+TEST(Stats, EmptySampleIsZeros) {
+  const auto s = ppa::summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, TimerMeasuresElapsed) {
+  ppa::Timer t;
+  volatile double x = 0.0;
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  EXPECT_GT(t.seconds(), 0.0);
+}
+
+// ------------------------------------------------------------- ascii plot --
+
+TEST(AsciiPlot, RenderContainsGlyphsAndLegend) {
+  ppa::plot::Axes axes;
+  axes.title = "test plot";
+  axes.xlabel = "x";
+  axes.ylabel = "y";
+  ppa::plot::Series s{"line", '*', {{0.0, 0.0}, {1.0, 1.0}, {2.0, 2.0}}};
+  const auto text = ppa::plot::render(axes, {s});
+  EXPECT_NE(text.find('*'), std::string::npos);
+  EXPECT_NE(text.find("line"), std::string::npos);
+  EXPECT_NE(text.find("test plot"), std::string::npos);
+}
+
+TEST(AsciiPlot, SpeedupPlotHasPerfectDiagonal) {
+  ppa::plot::Series s{"actual", 'o', {{1.0, 1.0}, {16.0, 12.0}}};
+  const auto text = ppa::plot::render_speedup("speedups", {s}, 16.0, 16.0);
+  EXPECT_NE(text.find("perfect speedup"), std::string::npos);
+  EXPECT_NE(text.find('o'), std::string::npos);
+}
+
+TEST(AsciiPlot, EmptySeriesDoesNotCrash) {
+  ppa::plot::Axes axes;
+  const auto text = ppa::plot::render(axes, {});
+  EXPECT_FALSE(text.empty());
+}
+
+// ------------------------------------------------------------------ image --
+
+TEST(Image, ColormapEndpoints) {
+  const auto lo = ppa::img::colormap_jet(0.0);
+  const auto hi = ppa::img::colormap_jet(1.0);
+  EXPECT_GT(lo.b, lo.r);  // cold end is blue
+  EXPECT_GT(hi.r, hi.b);  // hot end is red
+  const auto g = ppa::img::colormap_gray(0.5);
+  EXPECT_EQ(g.r, g.g);
+  EXPECT_EQ(g.g, g.b);
+}
+
+TEST(Image, WritePpmProducesValidHeaderAndSize) {
+  Array2D<double> f(4, 6, 0.0);
+  f(1, 2) = 1.0;
+  const std::string path = testing::TempDir() + "/ppa_test.ppm";
+  ppa::img::write_ppm(path, f);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string magic;
+  int w = 0, h = 0, maxv = 0;
+  in >> magic >> w >> h >> maxv;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, 6);
+  EXPECT_EQ(h, 4);
+  EXPECT_EQ(maxv, 255);
+  in.get();  // single whitespace after header
+  std::vector<char> pixels(static_cast<std::size_t>(w) * h * 3);
+  in.read(pixels.data(), static_cast<std::streamsize>(pixels.size()));
+  EXPECT_EQ(in.gcount(), static_cast<std::streamsize>(pixels.size()));
+  std::remove(path.c_str());
+}
+
+TEST(Image, WritePgmGrayscale) {
+  Array2D<double> f(2, 2, 0.5);
+  const std::string path = testing::TempDir() + "/ppa_test.pgm";
+  ppa::img::write_pgm(path, f, 0.0, 1.0);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string magic;
+  in >> magic;
+  EXPECT_EQ(magic, "P5");
+  std::remove(path.c_str());
+}
+
+TEST(Image, AsciiFieldShape) {
+  Array2D<double> f(16, 32, 0.0);
+  for (std::size_t i = 0; i < 16; ++i)
+    for (std::size_t j = 0; j < 32; ++j) f(i, j) = static_cast<double>(i + j);
+  const auto art = ppa::img::ascii_field(f, 32);
+  EXPECT_FALSE(art.empty());
+  // Top-left should be the "cold" ramp char, bottom-right the "hot" one.
+  EXPECT_EQ(art.front(), ' ');
+  const auto last_line_start = art.rfind('\n', art.size() - 2);
+  EXPECT_EQ(art[art.size() - 2], '@');
+  (void)last_line_start;
+}
+
+}  // namespace
