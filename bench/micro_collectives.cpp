@@ -1,105 +1,458 @@
-// Micro-benchmarks of the mpl communication library: the cost of each
-// collective the archetypes rely on, as a function of world size and
-// message size. These are the measured counterparts of the alpha/beta cost
-// formulas in perfmodel/machine.cpp.
-#include <benchmark/benchmark.h>
-
+// Micro-benchmarks of the mpl communication substrate: point-to-point
+// latency/bandwidth, every collective the archetypes rely on (as a function
+// of world size p and message size), and mailbox-level A/B comparisons
+// against a reference single-deque mailbox (the pre-lane design). Emits
+// machine-readable results to BENCH_substrate.json so successive perf PRs
+// have recorded before/after numbers.
+//
+// Coverage: p ∈ {2, 4, 8}, message sizes 8 B – 4 MB. Set PPA_BENCH_SMOKE=1
+// for a reduced CI configuration.
+#include <atomic>
+#include <condition_variable>
+#include <type_traits>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
 #include <vector>
 
+#include "microbench.hpp"
+#include "mpl/mailbox.hpp"
 #include "mpl/process.hpp"
 #include "mpl/spmd.hpp"
 
 namespace {
 
+using namespace ppa;
 using namespace ppa::mpl;
+using microbench::Reporter;
+using microbench::Result;
+using microbench::time_best_of;
 
-void BM_PingPong(benchmark::State& state) {
-  const auto bytes = static_cast<std::size_t>(state.range(0));
-  const std::vector<char> payload(bytes, 'x');
-  for (auto _ : state) {
-    spmd_run(2, [&](Process& p) {
-      for (int i = 0; i < 8; ++i) {
-        if (p.rank() == 0) {
-          p.send(1, 0, payload);
-          benchmark::DoNotOptimize(p.recv<char>(1, 1));
-        } else {
-          benchmark::DoNotOptimize(p.recv<char>(0, 0));
-          p.send(0, 1, payload);
+// ------------------------------------------------------------------------
+// Reference implementation of the pre-lane mailbox: one global deque, one
+// mutex, notify_all on every push. Benchmarked head-to-head with the lane
+// mailbox to record the win (and to catch regressions re-introducing the
+// O(pending) scan or the wakeup storm).
+class LegacyDequeMailbox {
+ public:
+  void push(Envelope env) {
+    {
+      const std::scoped_lock lock(mutex_);
+      queue_.push_back(std::move(env));
+    }
+    cv_.notify_all();
+  }
+  Envelope pop(int source, int tag) {
+    std::unique_lock lock(mutex_);
+    Envelope env;
+    bool extracted = false;
+    cv_.wait(lock, [&] {
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if ((source == kAnySource || it->source == source) &&
+            (tag == kAnyTag || it->tag == tag)) {
+          env = std::move(*it);
+          queue_.erase(it);
+          extracted = true;
+          return true;
         }
       }
+      return aborted_;
     });
+    if (!extracted) throw WorldAborted{};
+    return env;
   }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16 *
-                          static_cast<std::int64_t>(bytes));
-}
-BENCHMARK(BM_PingPong)->Arg(64)->Arg(4096)->Arg(65536);
+  void abort() {
+    {
+      const std::scoped_lock lock(mutex_);
+      aborted_ = true;
+    }
+    cv_.notify_all();
+  }
 
-void BM_Barrier(benchmark::State& state) {
-  const int p = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    spmd_run(p, [&](Process& proc) {
-      for (int i = 0; i < 16; ++i) proc.barrier();
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Envelope> queue_;
+  bool aborted_ = false;
+};
+
+// ------------------------------------------------------------- spmd-level --
+
+void bench_ping_pong(Reporter& rep, const std::vector<std::size_t>& sizes) {
+  for (const auto bytes : sizes) {
+    const int rounds = static_cast<int>(std::min<std::size_t>(
+        256, std::max<std::size_t>(4, (1u << 18) / std::max<std::size_t>(bytes, 1))));
+    const std::vector<char> payload(bytes, 'x');
+    const double sec = time_best_of(5, [&] {
+      spmd_run(2, [&](Process& p) {
+        for (int i = 0; i < rounds; ++i) {
+          if (p.rank() == 0) {
+            p.send(1, 0, payload);
+            (void)p.recv<char>(1, 1);
+          } else {
+            (void)p.recv<char>(0, 0);
+            p.send(0, 1, payload);
+          }
+        }
+      });
     });
+    Result r{"ping_pong", {}};
+    r.set("p", 2).set("bytes", static_cast<double>(bytes));
+    r.set("seconds_per_op", sec / (2.0 * rounds));  // per one-way message
+    r.set("mb_per_s", 2.0 * rounds * static_cast<double>(bytes) / sec / 1e6);
+    rep.add(std::move(r));
   }
 }
-BENCHMARK(BM_Barrier)->Arg(2)->Arg(4)->Arg(8);
 
-void BM_Broadcast(benchmark::State& state) {
-  const int p = static_cast<int>(state.range(0));
-  const auto n = static_cast<std::size_t>(state.range(1));
-  for (auto _ : state) {
-    spmd_run(p, [&](Process& proc) {
-      std::vector<double> data(proc.rank() == 0 ? n : 0, 1.0);
-      for (int i = 0; i < 4; ++i) proc.broadcast(data, 0);
+void bench_broadcast(Reporter& rep, const std::vector<int>& procs,
+                     const std::vector<std::size_t>& sizes) {
+  for (const int p : procs) {
+    for (const auto bytes : sizes) {
+      const auto n = bytes / sizeof(double);
+      const int reps = bytes >= (1u << 20) ? 2 : 8;
+      const double sec = time_best_of(3, [&] {
+        spmd_run(p, [&](Process& proc) {
+          std::vector<double> data(proc.rank() == 0 ? n : 0, 1.0);
+          for (int i = 0; i < reps; ++i) proc.broadcast(data, 0);
+        });
+      });
+      Result r{"broadcast", {}};
+      r.set("p", p).set("bytes", static_cast<double>(bytes));
+      r.set("seconds_per_op", sec / reps);
+      r.set("mb_per_s", reps * static_cast<double>(bytes) / sec / 1e6);
+      rep.add(std::move(r));
+    }
+  }
+}
+
+/// Records the zero-copy property: physical copied bytes per rank for a
+/// 1 MB broadcast must be O(1) payloads, independent of the tree depth.
+void bench_broadcast_copies(Reporter& rep) {
+  constexpr std::size_t kBytes = 1u << 20;
+  constexpr int kP = 8;
+  const auto trace = spmd_run(kP, [&](Process& proc) {
+    std::vector<double> data(proc.rank() == 0 ? kBytes / sizeof(double) : 0, 1.0);
+    proc.broadcast(data, 0);
+  });
+  Result r{"broadcast_copied_bytes", {}};
+  r.set("p", kP).set("bytes", static_cast<double>(kBytes));
+  r.set("copied_bytes", static_cast<double>(trace.copied_bytes));
+  r.set("copies_per_rank", static_cast<double>(trace.copied_bytes) / kBytes / kP);
+  r.set("logical_bytes", static_cast<double>(trace.bytes));
+  rep.add(std::move(r));
+}
+
+void bench_allgather(Reporter& rep, const std::vector<int>& procs,
+                     const std::vector<std::size_t>& sizes) {
+  for (const int p : procs) {
+    for (const auto bytes : sizes) {
+      const auto n = std::max<std::size_t>(1, bytes / sizeof(double));
+      const int reps = bytes >= (1u << 18) ? 2 : 8;
+      std::atomic<std::uint64_t> max_sent{0};
+      const double sec = time_best_of(3, [&] {
+        TraceSnapshot trace;
+        spmd_collect<int>(
+            p,
+            [&](Process& proc) {
+              const std::vector<double> mine(n, proc.rank());
+              for (int i = 0; i < reps; ++i) {
+                (void)proc.allgather(std::span<const double>(mine));
+              }
+              return 0;
+            },
+            &trace);
+        max_sent.store(trace.max_sent_by_any_rank() /
+                       static_cast<std::uint64_t>(reps));
+      });
+      Result r{"allgather", {}};
+      r.set("p", p).set("bytes", static_cast<double>(n * sizeof(double)));
+      r.set("seconds_per_op", sec / reps);
+      r.set("mb_per_s",
+            reps * static_cast<double>(n * sizeof(double)) * p / sec / 1e6);
+      // Per-call volume. Root-bottleneck detector: with gather+broadcast
+      // the root sent ~log2(p)·p·n per call; balanced algorithms cap every
+      // rank at (p-1)·n plus record headers.
+      r.set("max_rank_sent_bytes", static_cast<double>(max_sent.load()));
+      rep.add(std::move(r));
+    }
+  }
+}
+
+void bench_allreduce_vec(Reporter& rep, const std::vector<int>& procs,
+                         const std::vector<std::size_t>& sizes) {
+  for (const int p : procs) {
+    for (const auto bytes : sizes) {
+      const auto n = std::max<std::size_t>(1, bytes / sizeof(double));
+      const int reps = bytes >= (1u << 18) ? 2 : 8;
+      std::atomic<std::uint64_t> max_sent{0};
+      const double sec = time_best_of(3, [&] {
+        TraceSnapshot trace;
+        spmd_collect<int>(
+            p,
+            [&](Process& proc) {
+              const std::vector<double> mine(n, proc.rank());
+              for (int i = 0; i < reps; ++i) {
+                (void)proc.allreduce_vec(std::span<const double>(mine), SumOp{});
+              }
+              return 0;
+            },
+            &trace);
+        max_sent.store(trace.max_sent_by_any_rank() /
+                       static_cast<std::uint64_t>(reps));
+      });
+      Result r{"allreduce_vec", {}};
+      r.set("p", p).set("bytes", static_cast<double>(n * sizeof(double)));
+      r.set("seconds_per_op", sec / reps);
+      r.set("mb_per_s",
+            reps * static_cast<double>(n * sizeof(double)) / sec / 1e6);
+      r.set("max_rank_sent_bytes", static_cast<double>(max_sent.load()));
+      rep.add(std::move(r));
+    }
+  }
+}
+
+void bench_scatter(Reporter& rep, const std::vector<int>& procs,
+                   const std::vector<std::size_t>& sizes) {
+  for (const int p : procs) {
+    for (const auto bytes : sizes) {
+      const auto n = std::max<std::size_t>(1, bytes / sizeof(double));
+      const int reps = 4;
+      const double sec = time_best_of(3, [&] {
+        spmd_run(p, [&](Process& proc) {
+          std::vector<std::vector<double>> parts;
+          if (proc.rank() == 0) {
+            parts.assign(static_cast<std::size_t>(p), std::vector<double>(n, 1.0));
+          }
+          for (int i = 0; i < reps; ++i) (void)proc.scatter(parts, 0);
+        });
+      });
+      Result r{"scatter", {}};
+      r.set("p", p).set("bytes", static_cast<double>(n * sizeof(double)));
+      r.set("seconds_per_op", sec / reps);
+      rep.add(std::move(r));
+    }
+  }
+}
+
+void bench_alltoall(Reporter& rep, const std::vector<int>& procs,
+                    const std::vector<std::size_t>& sizes) {
+  for (const int p : procs) {
+    for (const auto bytes : sizes) {
+      const auto per_pair = std::max<std::size_t>(1, bytes / sizeof(double));
+      const int reps = 4;
+      const double sec = time_best_of(3, [&] {
+        spmd_run(p, [&](Process& proc) {
+          for (int i = 0; i < reps; ++i) {
+            std::vector<std::vector<double>> parts(
+                static_cast<std::size_t>(p), std::vector<double>(per_pair, 1.0));
+            (void)proc.alltoall(std::move(parts));
+          }
+        });
+      });
+      Result r{"alltoall", {}};
+      r.set("p", p).set("bytes", static_cast<double>(per_pair * sizeof(double)));
+      r.set("seconds_per_op", sec / reps);
+      r.set("mb_per_s", reps * static_cast<double>(p) * (p - 1) *
+                            static_cast<double>(per_pair * sizeof(double)) / sec / 1e6);
+      rep.add(std::move(r));
+    }
+  }
+}
+
+void bench_barrier(Reporter& rep, const std::vector<int>& procs) {
+  for (const int p : procs) {
+    const int reps = 64;
+    const double sec = time_best_of(5, [&] {
+      spmd_run(p, [&](Process& proc) {
+        for (int i = 0; i < reps; ++i) proc.barrier();
+      });
     });
+    Result r{"barrier", {}};
+    r.set("p", p).set("seconds_per_op", sec / reps);
+    rep.add(std::move(r));
   }
 }
-BENCHMARK(BM_Broadcast)->Args({4, 1024})->Args({8, 1024})->Args({8, 65536});
 
-void BM_Allreduce(benchmark::State& state) {
-  const int p = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    spmd_run(p, [&](Process& proc) {
-      double acc = proc.rank();
-      for (int i = 0; i < 16; ++i) {
-        acc = proc.allreduce(acc, SumOp{});
+// ---------------------------------------------------------- mailbox-level --
+
+/// Ping-pong through a pair of mailboxes, exercising the exact-match fast
+/// path. Run for both the lane mailbox and the legacy single-deque
+/// reference; the per-op delta is the substrate latency improvement.
+template <typename Box>
+double mailbox_ping_pong_seconds(int msgs, std::size_t bytes) {
+  Box a, b;
+  const std::vector<char> data(bytes, 'x');
+  return time_best_of(5, [&] {
+    std::thread t([&] {
+      for (int i = 0; i < msgs; ++i) {
+        (void)b.pop(0, 0);
+        a.push(Envelope{1, 0, pack_payload(std::span<const char>(data))});
       }
-      benchmark::DoNotOptimize(acc);
     });
+    for (int i = 0; i < msgs; ++i) {
+      b.push(Envelope{0, 0, pack_payload(std::span<const char>(data))});
+      (void)a.pop(1, 0);
+    }
+    t.join();
+  }) / (2.0 * msgs);
+}
+
+void bench_mailbox_ping_pong(Reporter& rep, const std::vector<std::size_t>& sizes) {
+  const int msgs = microbench::smoke_mode() ? 512 : 4096;
+  for (const auto bytes : sizes) {
+    {
+      Result r{"mailbox_ping_pong_lanes", {}};
+      r.set("bytes", static_cast<double>(bytes));
+      r.set("seconds_per_op", mailbox_ping_pong_seconds<Mailbox>(msgs, bytes));
+      rep.add(std::move(r));
+    }
+    {
+      Result r{"mailbox_ping_pong_baseline_deque", {}};
+      r.set("bytes", static_cast<double>(bytes));
+      r.set("seconds_per_op",
+            mailbox_ping_pong_seconds<LegacyDequeMailbox>(msgs, bytes));
+      rep.add(std::move(r));
+    }
   }
 }
-BENCHMARK(BM_Allreduce)->Arg(2)->Arg(4)->Arg(8);
 
-void BM_Alltoall(benchmark::State& state) {
-  const int p = static_cast<int>(state.range(0));
-  const auto per_pair = static_cast<std::size_t>(state.range(1));
-  for (auto _ : state) {
-    spmd_run(p, [&](Process& proc) {
-      for (int i = 0; i < 4; ++i) {
-        std::vector<std::vector<double>> parts(
-            static_cast<std::size_t>(p), std::vector<double>(per_pair, 1.0));
-        benchmark::DoNotOptimize(proc.alltoall(std::move(parts)));
+/// Ping-pong through mailboxes that already hold a backlog of unrelated
+/// messages (a different source, as left by a collective in flight or an
+/// unserviced neighbor). The single-deque design rescans the whole backlog
+/// on every pop — O(pending) per receive; lanes match in O(1).
+template <typename Box>
+double loaded_ping_pong_seconds(int msgs, int backlog) {
+  Box a, b;
+  const int noise = -1;
+  for (int i = 0; i < backlog; ++i) {
+    a.push(Envelope{7, 9, pack_payload(std::span<const int>(&noise, 1))});
+    b.push(Envelope{7, 9, pack_payload(std::span<const int>(&noise, 1))});
+  }
+  const int v = 0;
+  return time_best_of(5, [&] {
+    std::thread t([&] {
+      for (int i = 0; i < msgs; ++i) {
+        (void)b.pop(0, 0);
+        a.push(Envelope{1, 0, pack_payload(std::span<const int>(&v, 1))});
+      }
+    });
+    for (int i = 0; i < msgs; ++i) {
+      b.push(Envelope{0, 0, pack_payload(std::span<const int>(&v, 1))});
+      (void)a.pop(1, 0);
+    }
+    t.join();
+  }) / (2.0 * msgs);
+}
+
+void bench_mailbox_loaded_ping_pong(Reporter& rep) {
+  const int msgs = microbench::smoke_mode() ? 512 : 4096;
+  for (const int backlog : {64, 512, 4096}) {
+    {
+      Result r{"mailbox_loaded_ping_pong_lanes", {}};
+      r.set("backlog", backlog);
+      r.set("seconds_per_op", loaded_ping_pong_seconds<Mailbox>(msgs, backlog));
+      rep.add(std::move(r));
+    }
+    {
+      Result r{"mailbox_loaded_ping_pong_baseline_deque", {}};
+      r.set("backlog", backlog);
+      r.set("seconds_per_op",
+            loaded_ping_pong_seconds<LegacyDequeMailbox>(msgs, backlog));
+      rep.add(std::move(r));
+    }
+  }
+}
+
+/// Wakeup-storm regression: one consumer drains messages from source 0
+/// while `idle` other receivers block on sources that never send. With the
+/// single-deque mailbox every push wakes all idle receivers (futile
+/// wakeups ~ idle × msgs); with lanes they are never disturbed.
+template <typename Box>
+double storm_seconds(int idle, int msgs, std::uint64_t* futile) {
+  Box box;
+  std::vector<std::thread> idlers;
+  idlers.reserve(static_cast<std::size_t>(idle));
+  for (int i = 0; i < idle; ++i) {
+    idlers.emplace_back([&box, i] {
+      try {
+        (void)box.pop(i + 1, 0);  // source that never sends; released by abort
+      } catch (const WorldAborted&) {
       }
     });
   }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 4 * p *
-                          (p - 1) * static_cast<std::int64_t>(per_pair) * 8);
-}
-BENCHMARK(BM_Alltoall)->Args({4, 256})->Args({8, 256})->Args({8, 4096});
-
-void BM_Allgather(benchmark::State& state) {
-  const int p = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    spmd_run(p, [&](Process& proc) {
-      const std::vector<int> mine(128, proc.rank());
-      for (int i = 0; i < 4; ++i) {
-        benchmark::DoNotOptimize(proc.allgather(std::span<const int>(mine)));
+  const char byte_val = 'x';
+  const double sec = time_best_of(3, [&] {
+    std::thread producer([&] {
+      for (int i = 0; i < msgs; ++i) {
+        box.push(Envelope{0, 0, pack_payload(std::span<const char>(&byte_val, 1))});
       }
     });
+    for (int i = 0; i < msgs; ++i) (void)box.pop(0, 0);
+    producer.join();
+  });
+  box.abort();
+  for (auto& t : idlers) t.join();
+  if (futile != nullptr) {
+    if constexpr (std::is_same_v<Box, Mailbox>) {
+      *futile = box.futile_wakeups();
+    } else {
+      *futile = 0;  // legacy box does not instrument wakeups
+    }
+  }
+  return sec / msgs;
+}
+
+void bench_wakeup_storm(Reporter& rep) {
+  const int msgs = microbench::smoke_mode() ? 1024 : 8192;
+  for (const int idle : {0, 7, 31}) {
+    std::uint64_t futile = 0;
+    {
+      Result r{"mailbox_storm_lanes", {}};
+      r.set("idle_receivers", idle);
+      r.set("seconds_per_op", storm_seconds<Mailbox>(idle, msgs, &futile));
+      r.set("futile_wakeups", static_cast<double>(futile));
+      rep.add(std::move(r));
+    }
+    {
+      Result r{"mailbox_storm_baseline_deque", {}};
+      r.set("idle_receivers", idle);
+      r.set("seconds_per_op", storm_seconds<LegacyDequeMailbox>(idle, msgs, nullptr));
+      rep.add(std::move(r));
+    }
   }
 }
-BENCHMARK(BM_Allgather)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  const bool smoke = microbench::smoke_mode();
+  Reporter rep("mpl_substrate");
+
+  const std::vector<int> procs = smoke ? std::vector<int>{2, 4}
+                                       : std::vector<int>{2, 4, 8};
+  const std::vector<std::size_t> pp_sizes =
+      smoke ? std::vector<std::size_t>{8, 4096, 1u << 20}
+            : std::vector<std::size_t>{8,       64,      512,     4096,
+                                       32768,   262144,  1u << 20, 4u << 20};
+  const std::vector<std::size_t> coll_sizes =
+      smoke ? std::vector<std::size_t>{1024, 1u << 20}
+            : std::vector<std::size_t>{8, 1024, 65536, 1u << 20, 4u << 20};
+
+  bench_mailbox_ping_pong(rep, smoke ? std::vector<std::size_t>{8, 4096}
+                                     : std::vector<std::size_t>{8, 64, 4096, 65536});
+  bench_mailbox_loaded_ping_pong(rep);
+  bench_wakeup_storm(rep);
+  bench_ping_pong(rep, pp_sizes);
+  bench_barrier(rep, procs);
+  bench_broadcast(rep, procs, coll_sizes);
+  bench_broadcast_copies(rep);
+  bench_allgather(rep, procs, coll_sizes);
+  bench_allreduce_vec(rep, procs, coll_sizes);
+  bench_scatter(rep, procs, smoke ? std::vector<std::size_t>{4096}
+                                  : std::vector<std::size_t>{4096, 262144});
+  bench_alltoall(rep, procs, smoke ? std::vector<std::size_t>{2048}
+                                   : std::vector<std::size_t>{2048, 32768});
+
+  return rep.write_json("BENCH_substrate.json") ? 0 : 1;
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verify (configure + build + ctest) followed by the
+# substrate microbenchmarks in smoke configuration. Run from the repo root:
+#
+#   ci/build_and_test.sh [build-dir]
+#
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cd "$(dirname "$0")/.."
+
+echo "==> configure"
+cmake -B "$BUILD_DIR" -S .
+
+echo "==> build"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "==> test (tier-1 verify)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "==> substrate microbenchmarks (smoke)"
+(cd "$BUILD_DIR" && PPA_BENCH_SMOKE=1 ./micro_collectives)
+(cd "$BUILD_DIR" && PPA_BENCH_SMOKE=1 ./micro_substrate)
+
+test -s "$BUILD_DIR/BENCH_substrate.json" || {
+  echo "missing $BUILD_DIR/BENCH_substrate.json" >&2
+  exit 1
+}
+
+echo "==> OK"

@@ -32,6 +32,12 @@
 //                       communication structure the archetype implies:
 //                       allgather (or gather+broadcast) for parameter
 //                       computation and all-to-all for redistribution.
+//
+// Substrate costs (see mpl/process.hpp): the parameter allgather is
+// recursive-doubling/ring (no gather-to-root bottleneck), parameter
+// broadcasts fan out one shared buffer, and the all-to-all adopts each
+// outgoing part's storage as the message payload — so the redistribution
+// phases perform one serialization copy per part end to end.
 #pragma once
 
 #include <cassert>
@@ -124,7 +130,19 @@ template <typename T>
 std::vector<T> concat_parts(std::vector<std::vector<T>> parts) {
   std::size_t total = 0;
   for (const auto& p : parts) total += p.size();
+  // Reuse the largest part's storage as the destination when it is the
+  // first one — the common case after an all-to-all where one rank keeps
+  // most of its own data — to avoid an extra O(n) allocation+copy.
   std::vector<T> out;
+  if (!parts.empty() && parts.front().capacity() >= total) {
+    out = std::move(parts.front());
+    parts.front().clear();
+    out.reserve(total);
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+      out.insert(out.end(), parts[i].begin(), parts[i].end());
+    }
+    return out;
+  }
   out.reserve(total);
   for (auto& p : parts) out.insert(out.end(), p.begin(), p.end());
   return out;

@@ -7,6 +7,11 @@
 //
 // Sends never block (unbounded mailboxes), so the symmetric
 // send-then-receive schedule below cannot deadlock.
+//
+// Fast path: outgoing strips are packed once by pack_region and the vector's
+// buffer is adopted as the message payload (no serialization copy); incoming
+// strips are *borrowed* from the payload and scattered straight into the
+// ghost cells (no intermediate vector). One copy out, one copy in.
 #pragma once
 
 #include <cstddef>
@@ -51,10 +56,12 @@ void exchange_boundaries(mpl::Process& p, const mpl::CartGrid2D& pgrid,
     p.send(south, kToSouth, grid.pack_region(nx - g, nx, 0, ny));
   }
   if (south != mpl::kNoNeighbor) {
-    grid.unpack_region(nx, nx + g, 0, ny, p.recv<T>(south, kToNorth));
+    const auto strip = p.recv_borrow<T>(south, kToNorth);
+    grid.unpack_region(nx, nx + g, 0, ny, strip.view());
   }
   if (north != mpl::kNoNeighbor) {
-    grid.unpack_region(-g, 0, 0, ny, p.recv<T>(north, kToSouth));
+    const auto strip = p.recv_borrow<T>(north, kToSouth);
+    grid.unpack_region(-g, 0, 0, ny, strip.view());
   }
 
   // Phase 2: y direction (columns), including the x-ghost rows just filled,
@@ -66,10 +73,12 @@ void exchange_boundaries(mpl::Process& p, const mpl::CartGrid2D& pgrid,
     p.send(east, kToEast, grid.pack_region(-g, nx + g, ny - g, ny));
   }
   if (east != mpl::kNoNeighbor) {
-    grid.unpack_region(-g, nx + g, ny, ny + g, p.recv<T>(east, kToWest));
+    const auto strip = p.recv_borrow<T>(east, kToWest);
+    grid.unpack_region(-g, nx + g, ny, ny + g, strip.view());
   }
   if (west != mpl::kNoNeighbor) {
-    grid.unpack_region(-g, nx + g, -g, 0, p.recv<T>(west, kToEast));
+    const auto strip = p.recv_borrow<T>(west, kToEast);
+    grid.unpack_region(-g, nx + g, -g, 0, strip.view());
   }
 }
 
@@ -116,10 +125,12 @@ void exchange_boundaries_mixed(mpl::Process& p, const mpl::CartGrid2D& pgrid,
     if (north != mpl::kNoNeighbor) p.send(north, kToNorth, grid.pack_region(0, g, 0, ny));
     if (south != mpl::kNoNeighbor) {
       p.send(south, kToSouth, grid.pack_region(nx - g, nx, 0, ny));
-      grid.unpack_region(nx, nx + g, 0, ny, p.recv<T>(south, kToNorth));
+      const auto strip = p.recv_borrow<T>(south, kToNorth);
+      grid.unpack_region(nx, nx + g, 0, ny, strip.view());
     }
     if (north != mpl::kNoNeighbor) {
-      grid.unpack_region(-g, 0, 0, ny, p.recv<T>(north, kToSouth));
+      const auto strip = p.recv_borrow<T>(north, kToSouth);
+      grid.unpack_region(-g, 0, 0, ny, strip.view());
     }
   }
 
@@ -131,10 +142,12 @@ void exchange_boundaries_mixed(mpl::Process& p, const mpl::CartGrid2D& pgrid,
     if (west != mpl::kNoNeighbor) p.send(west, kToWest, grid.pack_region(-g, nx + g, 0, g));
     if (east != mpl::kNoNeighbor) {
       p.send(east, kToEast, grid.pack_region(-g, nx + g, ny - g, ny));
-      grid.unpack_region(-g, nx + g, ny, ny + g, p.recv<T>(east, kToWest));
+      const auto strip = p.recv_borrow<T>(east, kToWest);
+      grid.unpack_region(-g, nx + g, ny, ny + g, strip.view());
     }
     if (west != mpl::kNoNeighbor) {
-      grid.unpack_region(-g, nx + g, -g, 0, p.recv<T>(west, kToEast));
+      const auto strip = p.recv_borrow<T>(west, kToEast);
+      grid.unpack_region(-g, nx + g, -g, 0, strip.view());
     }
   }
 }

@@ -49,6 +49,15 @@ class Global {
     value_ = p.broadcast_value(value, root);
   }
 
+  /// Set from per-rank contributions via an allreduce — the archetype's
+  /// third consistency-establishing operation ("global data computed from
+  /// distributed data": every copy is the same reduction result by
+  /// construction, with the substrate's deterministic combination order).
+  template <typename BinaryOp>
+  void store_reduced(mpl::Process& p, const T& local, BinaryOp op) {
+    value_ = p.allreduce(local, op);
+  }
+
  private:
   T value_{};
 };

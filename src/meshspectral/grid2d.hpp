@@ -14,6 +14,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "mpl/topology.hpp"
@@ -115,13 +116,19 @@ class Grid2D {
   }
 
   /// Unpack a buffer produced by pack_region into the given local region.
+  /// The span overload lets callers scatter straight out of a borrowed
+  /// message payload without materializing an intermediate vector.
   void unpack_region(std::ptrdiff_t i0, std::ptrdiff_t i1, std::ptrdiff_t j0,
-                     std::ptrdiff_t j1, const std::vector<T>& buf) {
+                     std::ptrdiff_t j1, std::span<const T> buf) {
     assert(buf.size() == static_cast<std::size_t>((i1 - i0) * (j1 - j0)));
     std::size_t k = 0;
     for (std::ptrdiff_t i = i0; i < i1; ++i) {
       for (std::ptrdiff_t j = j0; j < j1; ++j) (*this)(i, j) = buf[k++];
     }
+  }
+  void unpack_region(std::ptrdiff_t i0, std::ptrdiff_t i1, std::ptrdiff_t j0,
+                     std::ptrdiff_t j1, const std::vector<T>& buf) {
+    unpack_region(i0, i1, j0, j1, std::span<const T>(buf));
   }
 
   /// Interior as a dense array (for tests and IO).

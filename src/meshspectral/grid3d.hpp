@@ -7,6 +7,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "mpl/process.hpp"
@@ -94,12 +95,17 @@ class Grid3D {
   }
   void unpack_region(std::ptrdiff_t i0, std::ptrdiff_t i1, std::ptrdiff_t j0,
                      std::ptrdiff_t j1, std::ptrdiff_t k0, std::ptrdiff_t k1,
-                     const std::vector<T>& buf) {
+                     std::span<const T> buf) {
     assert(buf.size() == static_cast<std::size_t>((i1 - i0) * (j1 - j0) * (k1 - k0)));
     std::size_t n = 0;
     for (std::ptrdiff_t i = i0; i < i1; ++i)
       for (std::ptrdiff_t j = j0; j < j1; ++j)
         for (std::ptrdiff_t k = k0; k < k1; ++k) (*this)(i, j, k) = buf[n++];
+  }
+  void unpack_region(std::ptrdiff_t i0, std::ptrdiff_t i1, std::ptrdiff_t j0,
+                     std::ptrdiff_t j1, std::ptrdiff_t k0, std::ptrdiff_t k1,
+                     const std::vector<T>& buf) {
+    unpack_region(i0, i1, j0, j1, k0, k1, std::span<const T>(buf));
   }
 
   /// Local interior fold.
@@ -168,7 +174,7 @@ void exchange_boundaries(mpl::Process& p, const mpl::CartGrid3D& pgrid,
       }
     };
     const auto unpack = [&](std::ptrdiff_t a, std::ptrdiff_t b,
-                            const std::vector<T>& buf) {
+                            std::span<const T> buf) {
       switch (axis) {
         case 0: grid.unpack_region(a, b, jlo, jhi, klo, khi, buf); break;
         case 1: grid.unpack_region(ilo, ihi, a, b, klo, khi, buf); break;
@@ -178,8 +184,14 @@ void exchange_boundaries(mpl::Process& p, const mpl::CartGrid3D& pgrid,
 
     if (minus != mpl::kNoNeighbor) p.send(minus, tag_minus, pack(0, g));
     if (plus != mpl::kNoNeighbor) p.send(plus, tag_plus, pack(n - g, n));
-    if (plus != mpl::kNoNeighbor) unpack(n, n + g, p.recv<T>(plus, tag_minus));
-    if (minus != mpl::kNoNeighbor) unpack(-g, 0, p.recv<T>(minus, tag_plus));
+    if (plus != mpl::kNoNeighbor) {
+      const auto slab = p.recv_borrow<T>(plus, tag_minus);
+      unpack(n, n + g, slab.view());
+    }
+    if (minus != mpl::kNoNeighbor) {
+      const auto slab = p.recv_borrow<T>(minus, tag_plus);
+      unpack(-g, 0, slab.view());
+    }
 
     // Widen the swept axis for subsequent sweeps so edges/corners fill.
     switch (axis) {

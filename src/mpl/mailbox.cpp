@@ -1,60 +1,233 @@
 #include "mpl/mailbox.hpp"
 
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <thread>
 #include <utility>
 
 namespace ppa::mpl {
 
-void Mailbox::push(Envelope env) {
-  {
-    const std::scoped_lock lock(mutex_);
-    queue_.push_back(std::move(env));
-  }
-  cv_.notify_all();
+namespace {
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
 }
 
-bool Mailbox::extract_locked(int source, int tag, Envelope& out) {
-  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-    if (matches(*it, source, tag)) {
+/// Spinning before sleeping only pays when another core can be producing
+/// concurrently; on a single-CPU host it just delays the sender's schedule.
+bool spin_worthwhile() {
+  static const bool enabled = std::thread::hardware_concurrency() > 1;
+  return enabled;
+}
+}  // namespace
+
+Mailbox::Mailbox(int nsenders)
+    : slots_(std::max(static_cast<std::size_t>(nsenders > 0 ? nsenders : 0),
+                      kMinSlots)) {
+  assert(nsenders >= 0);
+  // Pre-create the lanes for known senders so the hot path never takes the
+  // growth mutex.
+  const std::scoped_lock lock(growth_mutex_);
+  owned_.reserve(static_cast<std::size_t>(nsenders));
+  for (int s = 0; s < nsenders; ++s) {
+    owned_.push_back(std::make_unique<Lane>());
+    slots_[static_cast<std::size_t>(s)].store(owned_.back().get(),
+                                              std::memory_order_release);
+  }
+}
+
+Mailbox::Lane& Mailbox::lane_for(int source) {
+  assert(source >= 0 && "message source must be a valid rank");
+  const auto idx = static_cast<std::size_t>(source);
+  if (idx < slots_.size()) {
+    Lane* lane = slots_[idx].load(std::memory_order_acquire);
+    if (lane != nullptr) return *lane;
+  }
+  return *slow_lane_for(source);
+}
+
+Mailbox::Lane* Mailbox::slow_lane_for(int source) {
+  const auto idx = static_cast<std::size_t>(source);
+  const std::scoped_lock lock(growth_mutex_);
+  if (idx < slots_.size()) {
+    Lane* lane = slots_[idx].load(std::memory_order_relaxed);
+    if (lane == nullptr) {
+      owned_.push_back(std::make_unique<Lane>());
+      lane = owned_.back().get();
+      slots_[idx].store(lane, std::memory_order_release);
+    }
+    return lane;
+  }
+  const auto it = std::lower_bound(
+      overflow_.begin(), overflow_.end(), source,
+      [](const auto& entry, int s) { return entry.first < s; });
+  if (it != overflow_.end() && it->first == source) return it->second;
+  owned_.push_back(std::make_unique<Lane>());
+  Lane* lane = owned_.back().get();
+  overflow_.insert(it, {source, lane});
+  return lane;
+}
+
+template <typename F>
+void Mailbox::for_each_lane(F&& f) const {
+  for (const auto& slot : slots_) {
+    Lane* lane = slot.load(std::memory_order_acquire);
+    if (lane != nullptr) f(*lane);
+  }
+  const std::scoped_lock lock(growth_mutex_);
+  for (const auto& [source, lane] : overflow_) f(*lane);
+}
+
+void Mailbox::push(Envelope env) {
+  env.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  Lane& lane = lane_for(env.source);
+  {
+    const std::scoped_lock lock(lane.mutex);
+    lane.queue.push_back(std::move(env));
+    lane.pushes.fetch_add(1, std::memory_order_release);
+  }
+  // Targeted wake: only a receiver parked on this lane is disturbed. (At
+  // most one thread — the mailbox owner — ever waits on a lane in the SPMD
+  // runtime, so notify_all costs the same as notify_one and is robust to
+  // standalone multi-consumer use.)
+  lane.cv.notify_all();
+  // Wildcard receivers park on a separate channel; skip the notify entirely
+  // when none is registered (the common case).
+  if (any_waiters_.load(std::memory_order_acquire) > 0) {
+    const std::scoped_lock lock(any_mutex_);
+    any_cv_.notify_all();
+  }
+}
+
+bool Mailbox::extract_from_lane(Lane& lane, int tag, Envelope& out) {
+  for (auto it = lane.queue.begin(); it != lane.queue.end(); ++it) {
+    if (tag_matches(*it, tag)) {
       out = std::move(*it);
-      queue_.erase(it);
+      lane.queue.erase(it);
       return true;
     }
   }
   return false;
 }
 
-Envelope Mailbox::pop(int source, int tag) {
-  std::unique_lock lock(mutex_);
-  Envelope env;
-  bool extracted = false;
-  cv_.wait(lock, [&] {
-    if (extract_locked(source, tag, env)) {
-      extracted = true;
-      return true;
+bool Mailbox::extract_any_source(int tag, Envelope& out) {
+  // Two-phase: find the lane holding the earliest-arrival match (locking one
+  // lane at a time), then extract from it. A concurrent targeted pop can
+  // steal the chosen lane's match between the phases; in that case another
+  // lane may still hold a match, so rescan rather than report "nothing
+  // queued" (each retry implies another consumer made progress).
+  for (;;) {
+    Lane* best = nullptr;
+    std::uint64_t best_seq = std::numeric_limits<std::uint64_t>::max();
+    for_each_lane([&](Lane& lane) {
+      const std::scoped_lock lock(lane.mutex);
+      for (const auto& env : lane.queue) {
+        if (tag_matches(env, tag)) {
+          if (env.seq < best_seq) {
+            best_seq = env.seq;
+            best = &lane;
+          }
+          break;  // later entries in this lane arrived later
+        }
+      }
+    });
+    if (best == nullptr) return false;
+    const std::scoped_lock lock(best->mutex);
+    if (extract_from_lane(*best, tag, out)) return true;
+  }
+}
+
+Envelope Mailbox::pop_from_lane(int source, int tag) {
+  Lane& lane = lane_for(source);
+  // Bounded spin phase: probe the lane's push counter without the lock and
+  // only attempt extraction when a new message has arrived. In tight
+  // request/reply exchanges the reply lands within the spin window, saving
+  // the condvar sleep/wake (futex) round-trip entirely.
+  if (spin_worthwhile()) {
+    constexpr int kSpinIters = 1500;
+    std::uint64_t seen = ~std::uint64_t{0};
+    for (int spin = 0; spin < kSpinIters; ++spin) {
+      const std::uint64_t now = lane.pushes.load(std::memory_order_acquire);
+      if (now != seen) {
+        const std::scoped_lock lock(lane.mutex);
+        Envelope env;
+        if (extract_from_lane(lane, tag, env)) return env;
+        if (aborted_.load(std::memory_order_acquire)) throw WorldAborted{};
+        seen = now;
+      }
+      cpu_pause();
     }
-    return aborted_;
-  });
-  if (!extracted) throw WorldAborted{};
-  return env;
+  }
+  std::unique_lock lock(lane.mutex);
+  bool waited = false;
+  for (;;) {
+    Envelope env;
+    if (extract_from_lane(lane, tag, env)) return env;
+    if (aborted_.load(std::memory_order_acquire)) throw WorldAborted{};
+    if (waited) futile_wakeups_.fetch_add(1, std::memory_order_relaxed);
+    lane.cv.wait(lock);
+    waited = true;
+  }
+}
+
+Envelope Mailbox::pop_any_source(int tag) {
+  std::unique_lock lock(any_mutex_);
+  any_waiters_.fetch_add(1, std::memory_order_release);
+  bool waited = false;
+  try {
+    for (;;) {
+      Envelope env;
+      if (extract_any_source(tag, env)) {
+        any_waiters_.fetch_sub(1, std::memory_order_release);
+        return env;
+      }
+      if (aborted_.load(std::memory_order_acquire)) throw WorldAborted{};
+      if (waited) futile_wakeups_.fetch_add(1, std::memory_order_relaxed);
+      any_cv_.wait(lock);
+      waited = true;
+    }
+  } catch (...) {
+    any_waiters_.fetch_sub(1, std::memory_order_release);
+    throw;
+  }
+}
+
+Envelope Mailbox::pop(int source, int tag) {
+  if (source == kAnySource) return pop_any_source(tag);
+  return pop_from_lane(source, tag);
 }
 
 bool Mailbox::try_pop(int source, int tag, Envelope& out) {
-  const std::scoped_lock lock(mutex_);
-  if (aborted_) throw WorldAborted{};
-  return extract_locked(source, tag, out);
+  if (aborted_.load(std::memory_order_acquire)) throw WorldAborted{};
+  if (source == kAnySource) return extract_any_source(tag, out);
+  Lane& lane = lane_for(source);
+  const std::scoped_lock lock(lane.mutex);
+  return extract_from_lane(lane, tag, out);
 }
 
 std::size_t Mailbox::pending() const {
-  const std::scoped_lock lock(mutex_);
-  return queue_.size();
+  std::size_t total = 0;
+  for_each_lane([&total](Lane& lane) {
+    const std::scoped_lock lock(lane.mutex);
+    total += lane.queue.size();
+  });
+  return total;
 }
 
 void Mailbox::abort() {
-  {
-    const std::scoped_lock lock(mutex_);
-    aborted_ = true;
-  }
-  cv_.notify_all();
+  aborted_.store(true, std::memory_order_release);
+  for_each_lane([](Lane& lane) {
+    {
+      const std::scoped_lock lock(lane.mutex);
+    }
+    lane.cv.notify_all();
+  });
+  const std::scoped_lock lock(any_mutex_);
+  any_cv_.notify_all();
 }
 
 }  // namespace ppa::mpl

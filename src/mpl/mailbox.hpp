@@ -1,17 +1,41 @@
 // ppa/mpl/mailbox.hpp
 //
-// Per-rank incoming message queue. Senders push envelopes (never blocking —
-// queues are unbounded, which makes the collective algorithms trivially
-// deadlock-free); receivers block until a message matching (source, tag)
-// arrives. Matching respects FIFO order per (source, tag) pair, mirroring
-// MPI's non-overtaking guarantee.
+// Per-rank incoming message queue, organized as one *lane per sender rank*.
+// Senders push envelopes (never blocking — lanes are unbounded, which makes
+// the collective algorithms trivially deadlock-free); receivers block until
+// a message matching (source, tag) arrives.
+//
+// Why lanes: the dominant receive is an exact (source, tag) match issued by
+// collectives and neighbor exchanges. With a single deque that match is an
+// O(all pending) scan under one mutex, and every push wakes every blocked
+// receiver. With per-source lanes the match scans only messages queued from
+// that source, senders to the same mailbox do not contend with each other,
+// and a push wakes only a receiver waiting on that lane.
+//
+// Hot path: the lane table is a fixed array of atomic slots sized at
+// construction (one per sender rank), so lane lookup is a single acquire
+// load — no table lock. Sources beyond the pre-sized table (standalone /
+// ad-hoc use) fall back to a small mutex-guarded overflow map.
+//
+// Semantics preserved from the single-deque design:
+//   - FIFO per (source, tag) pair (MPI's non-overtaking guarantee): a lane
+//     is FIFO per source, and tag filtering preserves relative order.
+//   - Wildcards: kAnyTag scans the lane in arrival order; kAnySource picks
+//     the globally earliest matching arrival across lanes (every envelope is
+//     stamped with an arrival sequence number), which is the strongest —
+//     and deterministic — ordering the old global deque provided.
+//   - abort() releases every blocked receiver with WorldAborted.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <vector>
 
 #include "mpl/message.hpp"
 
@@ -25,11 +49,13 @@ struct WorldAborted : std::runtime_error {
 
 class Mailbox {
  public:
-  Mailbox() = default;
+  /// `nsenders` sizes the lock-free lane table (one slot per possible
+  /// source rank); higher source ranks still work via the overflow map.
+  explicit Mailbox(int nsenders = 0);
   Mailbox(const Mailbox&) = delete;
   Mailbox& operator=(const Mailbox&) = delete;
 
-  /// Enqueue a message (called by the *sender's* thread).
+  /// Enqueue a message (called by the *sender's* thread). Never blocks.
   void push(Envelope env);
 
   /// Block until a message matching (source, tag) is available and return it.
@@ -40,24 +66,73 @@ class Mailbox {
   /// Non-blocking variant; returns false if no matching message is queued.
   bool try_pop(int source, int tag, Envelope& out);
 
-  /// Number of queued messages (diagnostic).
+  /// Number of queued messages (diagnostic; takes each lane's lock).
   [[nodiscard]] std::size_t pending() const;
+
+  /// Number of times a blocked receiver woke without finding a matching
+  /// message (diagnostic; the single-deque design produced one per blocked
+  /// receiver per unrelated push — the "wakeup storm").
+  [[nodiscard]] std::uint64_t futile_wakeups() const noexcept {
+    return futile_wakeups_.load(std::memory_order_relaxed);
+  }
 
   /// Wake all blocked receivers with WorldAborted.
   void abort();
 
  private:
-  [[nodiscard]] static bool matches(const Envelope& env, int source, int tag) {
-    return (source == kAnySource || env.source == source) &&
-           (tag == kAnyTag || env.tag == tag);
-  }
-  /// Find first match in FIFO order; queue_ mutex must be held.
-  bool extract_locked(int source, int tag, Envelope& out);
+  /// One sender rank's FIFO queue with its own mutex and wakeup channel.
+  /// `pushes` counts arrivals monotonically; a receiver spins briefly on it
+  /// (no lock) before parking on the condvar, which removes the futex
+  /// round-trip from tight request/reply exchanges.
+  struct Lane {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Envelope> queue;
+    std::atomic<std::uint64_t> pushes{0};
+  };
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Envelope> queue_;
-  bool aborted_ = false;
+  /// Minimum lane-table size for default-constructed mailboxes.
+  static constexpr std::size_t kMinSlots = 16;
+
+  [[nodiscard]] static bool tag_matches(const Envelope& env, int tag) noexcept {
+    return tag == kAnyTag || env.tag == tag;
+  }
+
+  /// Lane for `source`; lock-free lookup for pre-sized sources, creating
+  /// lazily (and via the overflow map beyond the table). The returned
+  /// reference is stable for the mailbox's lifetime.
+  Lane& lane_for(int source);
+  Lane* slow_lane_for(int source);
+
+  /// Visit every existing lane (table + overflow) in source order.
+  template <typename F>
+  void for_each_lane(F&& f) const;
+
+  /// Extract the first tag-match from one lane; lane.mutex must be held.
+  bool extract_from_lane(Lane& lane, int tag, Envelope& out);
+
+  /// Extract the earliest-arrival tag-match across all lanes.
+  bool extract_any_source(int tag, Envelope& out);
+
+  Envelope pop_from_lane(int source, int tag);
+  Envelope pop_any_source(int tag);
+
+  std::vector<std::atomic<Lane*>> slots_;  ///< fixed size; lock-free reads
+
+  // Lane creation and overflow sources (>= slots_.size()) are rare; both go
+  // through growth_mutex_. owned_ keeps every lane alive for destruction.
+  mutable std::mutex growth_mutex_;
+  std::vector<std::unique_ptr<Lane>> owned_;
+  std::vector<std::pair<int, Lane*>> overflow_;  ///< sorted by source
+
+  // Wildcard receivers wait here; push notifies only when one is registered.
+  std::mutex any_mutex_;
+  std::condition_variable any_cv_;
+  std::atomic<int> any_waiters_{0};
+
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::atomic<std::uint64_t> futile_wakeups_{0};
+  std::atomic<bool> aborted_{false};
 };
 
 }  // namespace ppa::mpl

@@ -1,5 +1,6 @@
 #include "mpl/trace.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace ppa::mpl {
@@ -21,31 +22,54 @@ std::string op_name(Op op) {
   return "unknown";
 }
 
+CommTrace::CommTrace(int nranks)
+    : sent_by_rank_(nranks > 0 ? static_cast<std::size_t>(nranks) : 0) {}
+
 void CommTrace::reset() {
   messages_.store(0, std::memory_order_relaxed);
   bytes_.store(0, std::memory_order_relaxed);
+  copies_.store(0, std::memory_order_relaxed);
+  copied_bytes_.store(0, std::memory_order_relaxed);
   for (auto& c : ops_) c.store(0, std::memory_order_relaxed);
+  for (auto& c : sent_by_rank_) c.store(0, std::memory_order_relaxed);
 }
 
 TraceSnapshot CommTrace::snapshot() const {
   TraceSnapshot s;
   s.messages = messages_.load(std::memory_order_relaxed);
   s.bytes = bytes_.load(std::memory_order_relaxed);
+  s.copies = copies_.load(std::memory_order_relaxed);
+  s.copied_bytes = copied_bytes_.load(std::memory_order_relaxed);
   for (int i = 0; i < kOpCount; ++i) {
     s.ops[static_cast<std::size_t>(i)] =
         ops_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
   }
+  s.sent_bytes_by_rank.reserve(sent_by_rank_.size());
+  for (const auto& c : sent_by_rank_) {
+    s.sent_bytes_by_rank.push_back(c.load(std::memory_order_relaxed));
+  }
   return s;
+}
+
+std::uint64_t TraceSnapshot::max_sent_by_any_rank() const {
+  if (sent_bytes_by_rank.empty()) return 0;
+  return *std::max_element(sent_bytes_by_rank.begin(), sent_bytes_by_rank.end());
 }
 
 std::string TraceSnapshot::to_string() const {
   std::ostringstream os;
-  os << "p2p messages: " << messages << ", payload bytes: " << bytes << "\n";
+  os << "p2p messages: " << messages << ", payload bytes: " << bytes
+     << ", copied bytes: " << copied_bytes << " (" << copies << " copies)\n";
   for (int i = 0; i < kOpCount; ++i) {
     const auto count = ops[static_cast<std::size_t>(i)];
     if (count > 0) {
       os << "  " << op_name(static_cast<Op>(i)) << ": " << count << "\n";
     }
+  }
+  if (!sent_bytes_by_rank.empty()) {
+    os << "  sent bytes by rank:";
+    for (const auto b : sent_bytes_by_rank) os << ' ' << b;
+    os << "\n";
   }
   return os.str();
 }

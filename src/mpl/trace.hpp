@@ -6,12 +6,22 @@
 // tracer lets tests assert that the implementation realizes exactly the
 // predicted pattern (e.g. one all-to-all during the one-deep merge phase, one
 // boundary exchange plus one allreduce per Jacobi step).
+//
+// Beyond message/op counts, the tracer distinguishes *logical* traffic
+// (bytes addressed to a destination) from *physical* copies (bytes actually
+// memcpy'd during pack/unpack). With shared-buffer payloads a broadcast
+// moves O(p · n) logical bytes while copying only O(n) per rank; tests pin
+// that property. Per-sender byte counters expose load imbalance: a
+// root-bottlenecked collective shows up as one rank sending O(p · n) while
+// the others send nothing.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
 
 namespace ppa::mpl {
 
@@ -38,23 +48,40 @@ inline constexpr int kOpCount = static_cast<int>(Op::kCount_);
 
 /// Immutable snapshot of trace counters.
 struct TraceSnapshot {
-  std::uint64_t messages = 0;    ///< total point-to-point messages
-  std::uint64_t bytes = 0;       ///< total payload bytes
+  std::uint64_t messages = 0;     ///< total point-to-point messages
+  std::uint64_t bytes = 0;        ///< total logical payload bytes
+  std::uint64_t copies = 0;       ///< pack/unpack memcpy events
+  std::uint64_t copied_bytes = 0; ///< bytes physically memcpy'd
   std::array<std::uint64_t, kOpCount> ops{};
+  std::vector<std::uint64_t> sent_bytes_by_rank;  ///< logical bytes per sender
 
   [[nodiscard]] std::uint64_t op(Op o) const {
     return ops[static_cast<std::size_t>(o)];
   }
+  /// Largest per-sender byte count (0 when per-rank tracking is off).
+  [[nodiscard]] std::uint64_t max_sent_by_any_rank() const;
   /// Human-readable multi-line summary.
   [[nodiscard]] std::string to_string() const;
 };
 
-/// Thread-safe counters shared by all ranks of a World.
+/// Thread-safe counters shared by all ranks of a World. Constructing with a
+/// world size enables per-sender byte accounting.
 class CommTrace {
  public:
-  void count_message(std::uint64_t payload_bytes) {
+  CommTrace() = default;
+  explicit CommTrace(int nranks);
+
+  void count_message(int source, std::uint64_t payload_bytes) {
     messages_.fetch_add(1, std::memory_order_relaxed);
     bytes_.fetch_add(payload_bytes, std::memory_order_relaxed);
+    if (source >= 0 && static_cast<std::size_t>(source) < sent_by_rank_.size()) {
+      sent_by_rank_[static_cast<std::size_t>(source)].fetch_add(
+          payload_bytes, std::memory_order_relaxed);
+    }
+  }
+  void count_copy(std::uint64_t copied) {
+    copies_.fetch_add(1, std::memory_order_relaxed);
+    copied_bytes_.fetch_add(copied, std::memory_order_relaxed);
   }
   void count_op(Op op) {
     ops_[static_cast<std::size_t>(op)].fetch_add(1, std::memory_order_relaxed);
@@ -65,7 +92,10 @@ class CommTrace {
  private:
   std::atomic<std::uint64_t> messages_{0};
   std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> copies_{0};
+  std::atomic<std::uint64_t> copied_bytes_{0};
   std::array<std::atomic<std::uint64_t>, kOpCount> ops_{};
+  std::vector<std::atomic<std::uint64_t>> sent_by_rank_;
 };
 
 }  // namespace ppa::mpl

@@ -4,10 +4,13 @@
 
 namespace ppa::mpl {
 
-World::World(int size) : size_(size), barrier_(size) {
+World::World(int size) : size_(size), barrier_(size), trace_(size) {
   if (size <= 0) throw std::invalid_argument("World size must be positive");
   mailboxes_.reserve(static_cast<std::size_t>(size));
-  for (int r = 0; r < size; ++r) mailboxes_.push_back(std::make_unique<Mailbox>());
+  for (int r = 0; r < size; ++r) {
+    // One lane per sender rank, pre-sized so the hot path never grows.
+    mailboxes_.push_back(std::make_unique<Mailbox>(size));
+  }
 }
 
 void World::abort() {

@@ -40,7 +40,7 @@ class World {
   int size_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   AbortableBarrier barrier_;
-  CommTrace trace_;
+  CommTrace trace_;  ///< sized for per-sender accounting; see world.cpp
   std::atomic<bool> aborted_{false};
 };
 

@@ -114,6 +114,62 @@ TEST_P(CollectivesP, ScatterDistributesParts) {
   }
 }
 
+TEST_P(CollectivesP, ScatterFromNonZeroRoot) {
+  const int p = P();
+  const int root = p - 1;
+  const auto results = spmd_collect<std::vector<int>>(p, [p, root](Process& proc) {
+    std::vector<std::vector<int>> parts;
+    if (proc.rank() == root) {
+      for (int r = 0; r < p; ++r) parts.push_back({r * 7, r * 7 + 1});
+    }
+    return proc.scatter(parts, root);
+  });
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(results[static_cast<std::size_t>(r)],
+              (std::vector<int>{r * 7, r * 7 + 1}));
+  }
+}
+
+TEST_P(CollectivesP, ScatterRaggedParts) {
+  const int p = P();
+  const int root = p / 2;
+  const auto results = spmd_collect<std::vector<int>>(p, [p, root](Process& proc) {
+    std::vector<std::vector<int>> parts;
+    if (proc.rank() == root) {
+      // Rank r gets r elements (rank 0 an empty part).
+      for (int r = 0; r < p; ++r) {
+        parts.emplace_back(static_cast<std::size_t>(r), r * 1000);
+      }
+    }
+    return proc.scatter(parts, root);
+  });
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(results[static_cast<std::size_t>(r)],
+              std::vector<int>(static_cast<std::size_t>(r), r * 1000));
+  }
+}
+
+TEST_P(CollectivesP, ScatterLargePartsRoundtrip) {
+  const int p = P();
+  const auto results = spmd_collect<long>(p, [p](Process& proc) {
+    std::vector<std::vector<long>> parts;
+    if (proc.rank() == 0) {
+      for (int r = 0; r < p; ++r) {
+        parts.emplace_back(static_cast<std::size_t>(1000 + r), r);
+      }
+    }
+    const auto mine = proc.scatter(parts, 0);
+    EXPECT_EQ(mine.size(), static_cast<std::size_t>(1000 + proc.rank()));
+    long acc = 0;
+    for (const long v : mine) acc += v;
+    return acc;
+  });
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(results[static_cast<std::size_t>(r)],
+              static_cast<long>(1000 + r) * r);
+  }
+}
+
 TEST_P(CollectivesP, ReduceSumMatchesOracle) {
   const int p = P();
   const auto results = spmd_collect<long>(p, [](Process& proc) {
