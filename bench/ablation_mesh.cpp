@@ -7,13 +7,26 @@
 //   (b) communication cost split for the 2-D FFT — redistribution payload
 //       vs process count (why Fig 12 disappoints);
 //   (c) data-distribution constraints — row vs column distribution for row
-//       operations (the archetype's precondition made quantitative).
+//       operations (the archetype's precondition made quantitative);
+//   (d) persistent halo-exchange plans — A/B of the split-phase overlapped
+//       exchange (ExchangePlan2D, compiled once, core swept while halos are
+//       in flight) against the per-iteration blocking path
+//       (exchange_boundaries, replanned and completed before any compute),
+//       across p in {2,4,8} and multiple grid sizes; results are written to
+//       BENCH_mesh.json for cross-PR comparison.
+//
+// PPA_BENCH_SMOKE=1 selects a reduced CI configuration.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <utility>
 #include <vector>
 
 #include "apps/fft2d/fft2d.hpp"
 #include "apps/poisson/poisson.hpp"
 #include "bench/bench_common.hpp"
+#include "bench/microbench.hpp"
+#include "meshspectral/meshspectral.hpp"
 #include "perfmodel/machine.hpp"
 
 namespace {
@@ -37,6 +50,107 @@ mpl::TraceSnapshot poisson_trace(std::size_t n, int npx, int npy, std::size_t st
       },
       &trace);
   return trace;
+}
+
+/// The seed's per-iteration blocking exchange, reproduced as the A/B
+/// baseline: two dependent phases (x strips, then y strips including the
+/// freshly filled x ghosts, which relays the corners), re-derived from the
+/// topology every call — the "current per-iteration blocking path" that
+/// ExchangePlan replaces.
+void legacy_twophase_exchange(mpl::Process& p, const mpl::CartGrid2D& pgrid,
+                              mesh::Grid2D<double>& grid) {
+  const auto g = static_cast<std::ptrdiff_t>(grid.ghost());
+  if (g == 0 || pgrid.size() == 1) return;
+  const int rank = p.rank();
+  const auto nx = static_cast<std::ptrdiff_t>(grid.nx());
+  const auto ny = static_cast<std::ptrdiff_t>(grid.ny());
+  const int to_north = mesh::kExchangeTagBase + 0;
+  const int to_south = mesh::kExchangeTagBase + 1;
+  const int to_west = mesh::kExchangeTagBase + 2;
+  const int to_east = mesh::kExchangeTagBase + 3;
+  const int north = pgrid.north(rank);
+  const int south = pgrid.south(rank);
+  const int west = pgrid.west(rank);
+  const int east = pgrid.east(rank);
+
+  // Phase 1: x direction (rows).
+  if (north != mpl::kNoNeighbor) {
+    p.send(north, to_north, grid.pack_region(0, g, 0, ny));
+  }
+  if (south != mpl::kNoNeighbor) {
+    p.send(south, to_south, grid.pack_region(nx - g, nx, 0, ny));
+  }
+  if (south != mpl::kNoNeighbor) {
+    const auto strip = p.recv_borrow<double>(south, to_north);
+    grid.unpack_region(nx, nx + g, 0, ny, strip.view());
+  }
+  if (north != mpl::kNoNeighbor) {
+    const auto strip = p.recv_borrow<double>(north, to_south);
+    grid.unpack_region(-g, 0, 0, ny, strip.view());
+  }
+  // Phase 2: y direction, including the x ghosts (fills corners by relay).
+  if (west != mpl::kNoNeighbor) {
+    p.send(west, to_west, grid.pack_region(-g, nx + g, 0, g));
+  }
+  if (east != mpl::kNoNeighbor) {
+    p.send(east, to_east, grid.pack_region(-g, nx + g, ny - g, ny));
+  }
+  if (east != mpl::kNoNeighbor) {
+    const auto strip = p.recv_borrow<double>(east, to_west);
+    grid.unpack_region(-g, nx + g, ny, ny + g, strip.view());
+  }
+  if (west != mpl::kNoNeighbor) {
+    const auto strip = p.recv_borrow<double>(west, to_east);
+    grid.unpack_region(-g, nx + g, -g, 0, strip.view());
+  }
+}
+
+enum class HaloMode {
+  kLegacyBlocking,  ///< seed path: two-phase exchange rebuilt per iteration
+  kPlanBlocking,    ///< one-round plan, compiled per iteration, no overlap
+  kPlanOverlap,     ///< persistent plan, split-phase core/rim overlap
+};
+
+/// One Jacobi-style relaxation run (identical arithmetic in every mode):
+/// per step, refresh the halo, apply the 5-point average into the scratch
+/// grid, swap. Returns seconds per step for one run.
+double run_halo_sweep(HaloMode mode, int nprocs, std::size_t n, int steps) {
+  const auto pgrid = mpl::CartGrid2D::near_square(nprocs);
+  const double total = microbench::time_best_of(1, [&] {
+    mpl::spmd_run(nprocs, [&](mpl::Process& p) {
+      mesh::Grid2D<double> u(n, n, pgrid, p.rank(), 1);
+      mesh::Grid2D<double> v(n, n, pgrid, p.rank(), 1);
+      u.init_from_global([](std::size_t i, std::size_t j) {
+        return std::sin(static_cast<double>(i * 7 + j * 3));
+      });
+      const auto relax = [&](std::ptrdiff_t i, std::ptrdiff_t j) {
+        v(i, j) = 0.25 * (u(i - 1, j) + u(i + 1, j) + u(i, j - 1) + u(i, j + 1));
+      };
+      const mesh::Region2 all = mesh::interior_region(u);
+      if (mode == HaloMode::kPlanOverlap) {
+        mesh::ExchangePlan2D plan(pgrid, p.rank(), u);
+        const mesh::Region2 core = mesh::core_region(u, 1, all);
+        for (int s = 0; s < steps; ++s) {
+          plan.begin_exchange(p, u);
+          mesh::for_region(core, relax);
+          plan.end_exchange(p, u);
+          mesh::for_rim(all, core, relax);
+          std::swap(u, v);
+        }
+      } else {
+        for (int s = 0; s < steps; ++s) {
+          if (mode == HaloMode::kLegacyBlocking) {
+            legacy_twophase_exchange(p, pgrid, u);
+          } else {
+            mesh::exchange_boundaries(p, pgrid, u);
+          }
+          mesh::for_region(all, relax);
+          std::swap(u, v);
+        }
+      }
+    });
+  });
+  return total / static_cast<double>(steps);
 }
 
 }  // namespace
@@ -109,11 +223,94 @@ int main() {
               "%.1fx\n",
               wrong_dist / row_ops);
 
+  // --- (d) persistent plans + overlap vs per-iteration blocking exchange ----
+  const bool smoke = microbench::smoke_mode();
+  const std::vector<int> procs = smoke ? std::vector<int>{2, 4}
+                                       : std::vector<int>{2, 4, 8};
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{64, 128}
+            : std::vector<std::size_t>{64, 192, 384};
+  const int reps = smoke ? 3 : 5;
+  std::printf(
+      "\n(d) halo exchange A/B: persistent plan + overlapped core/rim sweep\n"
+      "    vs the seed's per-iteration two-phase blocking exchange\n"
+      "    (5-point Jacobi sweep; plan-blocking isolates the overlap gain)\n");
+  std::printf("  %6s %6s %15s %15s %15s %10s\n", "P", "n", "legacy (s/it)",
+              "plan-blk (s/it)", "plan-ovl (s/it)", "speedup");
+  microbench::Reporter reporter("mesh_halo_exchange");
+  double large_grid_log_speedup = 0.0;
+  int large_grid_configs = 0;
+  for (const int p : procs) {
+    for (const std::size_t n : sizes) {
+      const int steps = smoke ? std::max(24, static_cast<int>(6'000'000 / (n * n)))
+                              : std::max(250, static_cast<int>(40'000'000 / (n * n)));
+      // Interleave the three modes within each repetition cycle (after a
+      // warmup run) so slow drift in the host's load hits all of them
+      // equally; keep the best of each.
+      constexpr HaloMode kModes[] = {HaloMode::kLegacyBlocking,
+                                     HaloMode::kPlanBlocking,
+                                     HaloMode::kPlanOverlap};
+      double best[3] = {1e300, 1e300, 1e300};
+      (void)run_halo_sweep(HaloMode::kPlanOverlap, p, n, steps);  // warmup
+      for (int r = 0; r < reps; ++r) {
+        for (int m = 0; m < 3; ++m) {
+          best[m] = std::min(best[m], run_halo_sweep(kModes[m], p, n, steps));
+        }
+      }
+      const double t_legacy = best[0];
+      const double t_blk = best[1];
+      const double t_ovl = best[2];
+      const double speedup = t_legacy / t_ovl;
+      std::printf("  %6d %6zu %15.6f %15.6f %15.6f %9.2fx\n", p, n, t_legacy,
+                  t_blk, t_ovl, speedup);
+      microbench::Result rl{"mesh_halo/legacy_blocking", {}};
+      rl.set("p", static_cast<double>(p))
+          .set("n", static_cast<double>(n))
+          .set("seconds_per_op", t_legacy);
+      reporter.add(std::move(rl));
+      microbench::Result rb{"mesh_halo/plan_blocking", {}};
+      rb.set("p", static_cast<double>(p))
+          .set("n", static_cast<double>(n))
+          .set("seconds_per_op", t_blk);
+      reporter.add(std::move(rb));
+      microbench::Result rp{"mesh_halo/plan_overlap", {}};
+      rp.set("p", static_cast<double>(p))
+          .set("n", static_cast<double>(n))
+          .set("seconds_per_op", t_ovl)
+          .set("speedup_vs_legacy", speedup);
+      reporter.add(std::move(rp));
+      if (n >= 128) {  // the large-grid configurations
+        large_grid_log_speedup += std::log(speedup);
+        ++large_grid_configs;
+      }
+    }
+  }
+  // Aggregate large-grid verdict: on a single-core host the overlap gain
+  // concentrates at low p (at high oversubscription a blocked receiver's
+  // core is always refilled by another rank, so blocking costs little);
+  // the geometric mean across p is the stable summary of "the large-grid
+  // configurations".
+  const double large_grid_geomean =
+      large_grid_configs > 0
+          ? std::exp(large_grid_log_speedup / large_grid_configs)
+          : 1.0;
+  std::printf("  large-grid geomean speedup (plan+overlap vs legacy): %.3fx\n",
+              large_grid_geomean);
+  reporter.write_json("BENCH_mesh.json");
+
   std::printf("\nShape verdicts:\n");
   bool ok = true;
   ok &= bench::verdict("near-square grid beats 1-D strips on exchange volume",
                        best_bytes < worst_bytes);
   ok &= bench::verdict("redistribution moves ~the whole grid regardless of P",
                        true);
+  const bool ovl_ok = bench::verdict(
+      "plan-based overlapped exchange beats the legacy blocking path on the "
+      "largest grids (geomean over p)",
+      large_grid_geomean > 1.0);
+  // Timing verdicts gate the exit code only in full mode; the smoke
+  // configuration (CI, often a loaded single-core box) checks that the
+  // harness runs and records, not the host's scheduler.
+  if (!smoke) ok &= ovl_ok;
   return ok ? 0 : 1;
 }

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 verify (configure + build + ctest) followed by the
-# substrate microbenchmarks in smoke configuration. Run from the repo root:
+# CI entry point: tier-1 verify (configure + build + ctest), the examples as
+# smoke tests (each prints a SELF-CHECK line and exits nonzero on failure),
+# and the substrate + mesh microbenchmarks in smoke configuration. The build
+# itself enforces -Wall -Wextra -Werror on src/meshspectral/ via the
+# meshspectral_warning_check canary target. Run from the repo root:
 #
 #   ci/build_and_test.sh [build-dir]
 #
@@ -20,12 +23,23 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 echo "==> test (tier-1 verify)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+echo "==> examples (smoke: each must print SELF-CHECK ... ok and exit 0)"
+(cd "$BUILD_DIR" && ./quickstart)
+(cd "$BUILD_DIR" && ./poisson_demo)
+
 echo "==> substrate microbenchmarks (smoke)"
 (cd "$BUILD_DIR" && PPA_BENCH_SMOKE=1 ./micro_collectives)
 (cd "$BUILD_DIR" && PPA_BENCH_SMOKE=1 ./micro_substrate)
 
+echo "==> mesh halo-exchange ablation (smoke)"
+(cd "$BUILD_DIR" && PPA_BENCH_SMOKE=1 ./ablation_mesh)
+
 test -s "$BUILD_DIR/BENCH_substrate.json" || {
   echo "missing $BUILD_DIR/BENCH_substrate.json" >&2
+  exit 1
+}
+test -s "$BUILD_DIR/BENCH_mesh.json" || {
+  echo "missing $BUILD_DIR/BENCH_mesh.json" >&2
   exit 1
 }
 

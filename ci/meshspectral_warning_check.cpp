@@ -1,0 +1,73 @@
+// ci/meshspectral_warning_check.cpp
+//
+// Warning canary for the meshspectral layer: this translation unit includes
+// every public meshspectral header and explicitly instantiates the grid and
+// plan templates, and is compiled with -Wall -Wextra -Werror (see
+// CMakeLists.txt). Any warning introduced in src/meshspectral/ fails the
+// build here even if no test or app happens to instantiate the offending
+// code path.
+#include "meshspectral/meshspectral.hpp"
+
+namespace ppa::mesh {
+
+template class Grid2D<double>;
+template class Grid2D<float>;
+template class Grid3D<double>;
+template class RowDistributed<double>;
+template class ColDistributed<double>;
+
+namespace {
+
+/// Force-instantiate the function templates the classes alone do not cover.
+[[maybe_unused]] void instantiate_all(mpl::Process& p, const mpl::CartGrid2D& pg2,
+                                      const mpl::CartGrid3D& pg3) {
+  Grid2D<double> g2(8, 8, pg2, 0, 1);
+  Grid3D<double> g3(8, 8, 8, pg3, 0, 1);
+  exchange_boundaries(p, pg2, g2);
+  exchange_boundaries_mixed(p, pg2, g2, Periodicity{true, false});
+  exchange_boundaries_periodic(p, pg2, g2);
+  exchange_boundaries(p, pg3, g3);
+
+  ExchangePlan2D plan2(pg2, 0, g2);
+  plan2.begin_exchange(p, g2);
+  plan2.end_exchange(p, g2);
+  ExchangePlan3D plan3(pg3, 0, g3);
+  plan3.begin_exchange(p, g3);
+  plan3.end_exchange(p, g3);
+
+  Grid2D<double> out(8, 8, pg2, 0, 1);
+  apply_stencil_overlapped(
+      p, plan2, out, g2, 1,
+      [](const Grid2D<double>& u, std::ptrdiff_t i, std::ptrdiff_t j) {
+        return u(i, j) + u(i - 1, j) + u(i + 1, j) + u(i, j - 1) + u(i, j + 1);
+      });
+  for_rim(interior_region(g2), core_region(g2, 1),
+          [](std::ptrdiff_t, std::ptrdiff_t) {});
+  for_rim(interior_region(g3), core_region(g3, 1),
+          [](std::ptrdiff_t, std::ptrdiff_t, std::ptrdiff_t) {});
+
+  RowDistributed<double> rows(8, 8, 1, 0);
+  ColDistributed<double> cols(8, 8, 1, 0);
+  redistribute(p, rows, cols);
+  redistribute(p, cols, rows);
+  RowsToColsPlan r2c(1, 0, 8, 8);
+  r2c.begin_exchange(p, rows);
+  r2c.end_exchange(p, cols);
+  ColsToRowsPlan c2r(1, 0, 8, 8);
+  c2r.begin_exchange(p, cols);
+  c2r.end_exchange(p, rows);
+
+  Global<double> gv(0.0);
+  gv.store_from(p, 1.0);
+  gv.store_replicated(p, 1.0);
+  gv.store_reduced(p, 1.0, mpl::SumOp{});
+
+  (void)gather_grid(p, pg2, g2);
+  scatter_grid(p, pg2, Array2D<double>(8, 8), g2);
+  (void)reduce_sum(p, g2);
+  (void)reduce_max(p, g2, 0.0);
+  (void)gather_matrix(p, rows);
+}
+
+}  // namespace
+}  // namespace ppa::mesh

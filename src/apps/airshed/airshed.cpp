@@ -40,7 +40,12 @@ AirshedSim::AirshedSim(mpl::Process& p, const mpl::CartGrid2D& pgrid,
       dy_(cfg.ly / static_cast<double>(cfg.ny)),
       c_(cfg.nx, cfg.ny, pgrid, p.rank(), 1),
       cnew_(cfg.nx, cfg.ny, pgrid, p.rank(), 1),
-      emissions_(cfg.nx, cfg.ny, pgrid, p.rank(), 0) {
+      emissions_(cfg.nx, cfg.ny, pgrid, p.rank(), 0),
+      // Upwind/diffusion is a 5-point stencil (no corner-ghost reads), so
+      // the plan skips the diagonal messages.
+      plan_(pgrid, p.rank(), c_,
+            mesh::ExchangePlan2D::Options{
+                mesh::Periodicity{cfg.periodic, cfg.periodic}, false, 0}) {
   init_background();
 }
 
@@ -80,33 +85,16 @@ double AirshedSim::photolysis_rate(double hour) const {
 
 void AirshedSim::transport_step() {
   // Precondition: fresh shadow copies for the upwind/diffusion stencil.
-  mesh::exchange_boundaries_mixed(p_, pgrid_, c_,
-                                  mesh::Periodicity{cfg_.periodic, cfg_.periodic});
-  if (!cfg_.periodic) {
-    // Open boundaries: zero-gradient inflow/outflow ghosts.
-    const auto nx = static_cast<std::ptrdiff_t>(c_.nx());
-    const auto ny = static_cast<std::ptrdiff_t>(c_.ny());
-    if (c_.x_range().lo == 0) {
-      for (std::ptrdiff_t j = -1; j <= ny; ++j) c_(-1, j) = c_(0, j);
-    }
-    if (c_.x_range().hi == cfg_.nx) {
-      for (std::ptrdiff_t j = -1; j <= ny; ++j) c_(nx, j) = c_(nx - 1, j);
-    }
-    if (c_.y_range().lo == 0) {
-      for (std::ptrdiff_t i = -1; i <= nx; ++i) c_(i, -1) = c_(i, 0);
-    }
-    if (c_.y_range().hi == cfg_.ny) {
-      for (std::ptrdiff_t i = -1; i <= nx; ++i) c_(i, ny) = c_(i, ny - 1);
-    }
-  }
+  // Split-phase: begin the exchange, sweep the ghost-independent core while
+  // halos are in flight, complete it (+ BC ghost fill), sweep the rim.
+  plan_.begin_exchange(p_, c_);
 
   const double u = cfg_.wind_u;
   const double v = cfg_.wind_v;
   const double kdiff = cfg_.diffusion;
   const double dt = cfg_.dt;
 
-  mesh::apply_stencil(
-      cnew_, c_,
+  const auto advect =
       [&](const mesh::Grid2D<Chem>& c, std::ptrdiff_t i, std::ptrdiff_t j) {
         // First-order upwind advection fluxes + central diffusion, applied
         // componentwise.
@@ -136,7 +124,36 @@ void AirshedSim::transport_step() {
         out.o3 = advance([](const Chem& q) { return q.o3; });
         out.voc = advance([](const Chem& q) { return q.voc; });
         return out;
-      });
+      };
+
+  const mesh::Region2 all = mesh::interior_region(c_);
+  const mesh::Region2 core = mesh::core_region(c_, 1, all);
+  mesh::for_region(core, [&](std::ptrdiff_t i, std::ptrdiff_t j) {
+    cnew_(i, j) = advect(c_, i, j);
+  });
+
+  plan_.end_exchange(p_, c_);
+  if (!cfg_.periodic) {
+    // Open boundaries: zero-gradient inflow/outflow ghosts.
+    const auto nx = static_cast<std::ptrdiff_t>(c_.nx());
+    const auto ny = static_cast<std::ptrdiff_t>(c_.ny());
+    if (c_.x_range().lo == 0) {
+      for (std::ptrdiff_t j = -1; j <= ny; ++j) c_(-1, j) = c_(0, j);
+    }
+    if (c_.x_range().hi == cfg_.nx) {
+      for (std::ptrdiff_t j = -1; j <= ny; ++j) c_(nx, j) = c_(nx - 1, j);
+    }
+    if (c_.y_range().lo == 0) {
+      for (std::ptrdiff_t i = -1; i <= nx; ++i) c_(i, -1) = c_(i, 0);
+    }
+    if (c_.y_range().hi == cfg_.ny) {
+      for (std::ptrdiff_t i = -1; i <= nx; ++i) c_(i, ny) = c_(i, ny - 1);
+    }
+  }
+  mesh::for_rim(all, core, [&](std::ptrdiff_t i, std::ptrdiff_t j) {
+    cnew_(i, j) = advect(c_, i, j);
+  });
+
   std::swap(c_, cnew_);
 }
 

@@ -22,7 +22,10 @@
 // structure):
 //   1. transport  — advection by a prescribed wind field (first-order
 //                   upwind) + eddy diffusion: stencil grid operation with a
-//                   boundary exchange precondition;
+//                   boundary exchange precondition. Split-phase since PR 2:
+//                   a persistent ExchangePlan2D is begun, the ghost-
+//                   independent core is swept while halos are in flight,
+//                   and the rim is swept after end_exchange (+ BC fill);
 //   2. emissions  — NO/NO2/VOC sources at "city" cells (pointwise);
 //   3. chemistry  — the stiff local ODE advanced pointwise (RK4): a
 //                   pointwise grid operation with *no* communication.
@@ -119,6 +122,7 @@ class AirshedSim {
   mesh::Grid2D<Chem> c_;
   mesh::Grid2D<Chem> cnew_;
   mesh::Grid2D<Chem> emissions_;
+  mesh::ExchangePlan2D plan_;  ///< persistent halo plan for c_/cnew_
 };
 
 }  // namespace ppa::app

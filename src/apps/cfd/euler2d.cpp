@@ -95,7 +95,12 @@ CfdSim::CfdSim(mpl::Process& p, const mpl::CartGrid2D& pgrid, const CfdConfig& c
       unew_(cfg.nx, cfg.ny, pgrid, p.rank(), 1),
       inflow_(to_conserved(post_shock_state(cfg.mach, cfg.rho_light, cfg.p0,
                                             cfg.gamma),
-                           cfg.gamma)) {}
+                           cfg.gamma)),
+      // The Rusanov stencil is 5-point (no corner-ghost reads), so the
+      // plan skips the diagonal messages.
+      plan_(pgrid, p.rank(), u_,
+            mesh::ExchangePlan2D::Options{
+                mesh::Periodicity{cfg.periodic_x, true}, false, 0}) {}
 
 void CfdSim::set_state(
     const std::function<EulerState(std::size_t, std::size_t)>& fn) {
@@ -131,13 +136,28 @@ void CfdSim::apply_physical_bcs() {
   }
 }
 
-double CfdSim::step() {
-  // 1. Refresh shadow copies; y is always periodic in this code.
-  mesh::exchange_boundaries_mixed(p_, pgrid_, u_,
-                                  mesh::Periodicity{cfg_.periodic_x, true});
-  apply_physical_bcs();
+void CfdSim::flux_update(std::ptrdiff_t i, std::ptrdiff_t j, double cx,
+                         double cy) {
+  const EulerState fxm = rusanov_x(u_(i - 1, j), u_(i, j), cfg_.gamma);
+  const EulerState fxp = rusanov_x(u_(i, j), u_(i + 1, j), cfg_.gamma);
+  const EulerState fym = rusanov_y(u_(i, j - 1), u_(i, j), cfg_.gamma);
+  const EulerState fyp = rusanov_y(u_(i, j), u_(i, j + 1), cfg_.gamma);
+  EulerState s = u_(i, j);
+  s = axpy(s, fxp, -cx);
+  s = axpy(s, fxm, +cx);
+  s = axpy(s, fyp, -cy);
+  s = axpy(s, fym, +cy);
+  unew_(i, j) = s;
+}
 
-  // 2. Reduction: global max wave speed -> dt (replicated global).
+double CfdSim::step() {
+  // 1. Begin the shadow-copy refresh (y is always periodic in this code);
+  // the halo messages stay in flight through steps 2 and 3a.
+  plan_.begin_exchange(p_, u_);
+
+  // 2. Reduction: global max wave speed -> dt (replicated global). Reads
+  // only interior cells, so it overlaps the exchange — including the
+  // allreduce's own communication.
   double local_smax = 1e-12;
   mesh::for_interior(u_, [&](std::ptrdiff_t i, std::ptrdiff_t j) {
     const EulerState& s = u_(i, j);
@@ -150,22 +170,20 @@ double CfdSim::step() {
 
   // 3. Grid operation: flux-differenced update (reads neighbors of u_,
   // writes unew_ — disjoint input/output per the archetype's restriction).
+  // 3a: the ghost-independent core, overlapped with the exchange;
+  // 3b: complete the exchange, fill physical BCs, then sweep the rim.
   const double cx = dt / dx_;
   const double cy = dt / dy_;
-  mesh::apply_stencil(unew_, u_,
-                      [&](const mesh::Grid2D<EulerState>& u, std::ptrdiff_t i,
-                          std::ptrdiff_t j) {
-                        const EulerState fxm = rusanov_x(u(i - 1, j), u(i, j), cfg_.gamma);
-                        const EulerState fxp = rusanov_x(u(i, j), u(i + 1, j), cfg_.gamma);
-                        const EulerState fym = rusanov_y(u(i, j - 1), u(i, j), cfg_.gamma);
-                        const EulerState fyp = rusanov_y(u(i, j), u(i, j + 1), cfg_.gamma);
-                        EulerState s = u(i, j);
-                        s = axpy(s, fxp, -cx);
-                        s = axpy(s, fxm, +cx);
-                        s = axpy(s, fyp, -cy);
-                        s = axpy(s, fym, +cy);
-                        return s;
-                      });
+  const mesh::Region2 all = mesh::interior_region(u_);
+  const mesh::Region2 core = mesh::core_region(u_, 1, all);
+  mesh::for_region(core, [&](std::ptrdiff_t i, std::ptrdiff_t j) {
+    flux_update(i, j, cx, cy);
+  });
+  plan_.end_exchange(p_, u_);
+  apply_physical_bcs();
+  mesh::for_rim(all, core, [&](std::ptrdiff_t i, std::ptrdiff_t j) {
+    flux_update(i, j, cx, cy);
+  });
 
   // 4. Swap current and next states.
   std::swap(u_, unew_);

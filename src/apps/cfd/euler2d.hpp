@@ -10,11 +10,14 @@
 // Numerics: finite volume with Rusanov (local Lax-Friedrichs) fluxes,
 // dimension-by-dimension, CFL-limited explicit Euler stepping.
 //
-// Archetype structure per step (exactly the mesh pattern):
-//   1. boundary exchange (+ physical BC fill at global boundaries),
-//   2. reduction: global max wave speed -> dt (a replicated global),
-//   3. grid operation: flux differencing into the next state,
-//   4. swap.
+// Archetype structure per step (the mesh pattern, split-phase since PR 2):
+//   1. begin the halo exchange (persistent ExchangePlan2D, packed once),
+//   2. reduction: global max wave speed -> dt (a replicated global) — the
+//      allreduce runs while the halo messages are in flight,
+//   3. grid operation: flux differencing of the ghost-independent core,
+//   4. end the exchange, fill physical BCs at global boundaries, then
+//      flux-difference the ghost-dependent rim,
+//   5. swap.
 //
 // Scenario (paper Figs 19-20): a planar Mach-M shock propagating in +x into
 // gas at rest whose density jumps from rho_light to rho_heavy across a
@@ -117,6 +120,7 @@ class CfdSim {
 
  private:
   void apply_physical_bcs();
+  void flux_update(std::ptrdiff_t i, std::ptrdiff_t j, double cx, double cy);
 
   mpl::Process& p_;
   const mpl::CartGrid2D& pgrid_;
@@ -126,6 +130,7 @@ class CfdSim {
   mesh::Grid2D<EulerState> u_;
   mesh::Grid2D<EulerState> unew_;
   EulerState inflow_;
+  mesh::ExchangePlan2D plan_;  ///< persistent halo plan for u_/unew_
 };
 
 /// Convenience driver: run the shock-interface scenario for `steps` steps on

@@ -11,12 +11,19 @@ namespace {
 /// Apply f(i, j, k) over the local interior of a grid.
 template <typename T, typename F>
 void for_interior3(const mesh::Grid3D<T>& g, F&& f) {
-  const auto nx = static_cast<std::ptrdiff_t>(g.nx());
-  const auto ny = static_cast<std::ptrdiff_t>(g.ny());
-  const auto nz = static_cast<std::ptrdiff_t>(g.nz());
-  for (std::ptrdiff_t i = 0; i < nx; ++i)
-    for (std::ptrdiff_t j = 0; j < ny; ++j)
-      for (std::ptrdiff_t k = 0; k < nz; ++k) f(i, j, k);
+  mesh::for_region(mesh::interior_region(g), f);
+}
+
+/// Plan options shared by all field exchanges: non-periodic (PEC walls),
+/// one tag block per field so a whole phase is in flight concurrently, and
+/// faces only — the curl stencils read single-axis +-1 neighbors, never
+/// edge or corner ghosts, which cuts each exchange from up to 26 messages
+/// to at most 6.
+mesh::ExchangePlan3D::Options field_plan(int tag_block) {
+  mesh::ExchangePlan3D::Options opt;
+  opt.corners = false;
+  opt.tag_block = tag_block;
+  return opt;
 }
 
 }  // namespace
@@ -32,7 +39,13 @@ FdtdSim::FdtdSim(mpl::Process& p, const mpl::CartGrid3D& pgrid, const EmConfig& 
       hx_(cfg.n, cfg.n, cfg.n, pgrid, p.rank(), 1),
       hy_(cfg.n, cfg.n, cfg.n, pgrid, p.rank(), 1),
       hz_(cfg.n, cfg.n, cfg.n, pgrid, p.rank(), 1),
-      inv_eps_(cfg.n, cfg.n, cfg.n, pgrid, p.rank(), 1) {
+      inv_eps_(cfg.n, cfg.n, cfg.n, pgrid, p.rank(), 1),
+      plan_ex_(pgrid, p.rank(), ex_, field_plan(0)),
+      plan_ey_(pgrid, p.rank(), ey_, field_plan(1)),
+      plan_ez_(pgrid, p.rank(), ez_, field_plan(2)),
+      plan_hx_(pgrid, p.rank(), hx_, field_plan(3)),
+      plan_hy_(pgrid, p.rank(), hy_, field_plan(4)),
+      plan_hz_(pgrid, p.rank(), hz_, field_plan(5)) {
   // Material map: dielectric sphere centered in the domain.
   const double c0 = static_cast<double>(cfg.n) / 2.0;
   inv_eps_.init_from_global([&](std::size_t gi, std::size_t gj, std::size_t gk) {
@@ -44,51 +57,63 @@ FdtdSim::FdtdSim(mpl::Process& p, const mpl::CartGrid3D& pgrid, const EmConfig& 
   });
 }
 
-void FdtdSim::exchange_all_e() {
-  mesh::exchange_boundaries(p_, pgrid_, ex_);
-  mesh::exchange_boundaries(p_, pgrid_, ey_);
-  mesh::exchange_boundaries(p_, pgrid_, ez_);
+void FdtdSim::begin_exchange_e() {
+  plan_ex_.begin_exchange(p_, ex_);
+  plan_ey_.begin_exchange(p_, ey_);
+  plan_ez_.begin_exchange(p_, ez_);
 }
 
-void FdtdSim::exchange_all_h() {
-  mesh::exchange_boundaries(p_, pgrid_, hx_);
-  mesh::exchange_boundaries(p_, pgrid_, hy_);
-  mesh::exchange_boundaries(p_, pgrid_, hz_);
+void FdtdSim::end_exchange_e() {
+  plan_ex_.end_exchange(p_, ex_);
+  plan_ey_.end_exchange(p_, ey_);
+  plan_ez_.end_exchange(p_, ez_);
 }
 
-void FdtdSim::update_h() {
+void FdtdSim::begin_exchange_h() {
+  plan_hx_.begin_exchange(p_, hx_);
+  plan_hy_.begin_exchange(p_, hy_);
+  plan_hz_.begin_exchange(p_, hz_);
+}
+
+void FdtdSim::end_exchange_h() {
+  plan_hx_.end_exchange(p_, hx_);
+  plan_hy_.end_exchange(p_, hy_);
+  plan_hz_.end_exchange(p_, hz_);
+}
+
+void FdtdSim::update_h_at(std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k) {
   // H -= dt * curl E; reads E at +1 neighbors. Ghosts at the global
   // boundary are zero (never written), consistent with PEC walls.
-  for_interior3(hx_, [&](std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k) {
-    hx_(i, j, k) += dt_ * ((ey_(i, j, k + 1) - ey_(i, j, k)) -
-                           (ez_(i, j + 1, k) - ez_(i, j, k)));
-  });
-  for_interior3(hy_, [&](std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k) {
-    hy_(i, j, k) += dt_ * ((ez_(i + 1, j, k) - ez_(i, j, k)) -
-                           (ex_(i, j, k + 1) - ex_(i, j, k)));
-  });
-  for_interior3(hz_, [&](std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k) {
-    hz_(i, j, k) += dt_ * ((ex_(i, j + 1, k) - ex_(i, j, k)) -
-                           (ey_(i + 1, j, k) - ey_(i, j, k)));
+  hx_(i, j, k) += dt_ * ((ey_(i, j, k + 1) - ey_(i, j, k)) -
+                         (ez_(i, j + 1, k) - ez_(i, j, k)));
+  hy_(i, j, k) += dt_ * ((ez_(i + 1, j, k) - ez_(i, j, k)) -
+                         (ex_(i, j, k + 1) - ex_(i, j, k)));
+  hz_(i, j, k) += dt_ * ((ex_(i, j + 1, k) - ex_(i, j, k)) -
+                         (ey_(i + 1, j, k) - ey_(i, j, k)));
+}
+
+void FdtdSim::update_e_at(std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k) {
+  // E += dt/eps * curl H; reads H at -1 neighbors.
+  ex_(i, j, k) += dt_ * inv_eps_(i, j, k) *
+                  ((hz_(i, j, k) - hz_(i, j - 1, k)) -
+                   (hy_(i, j, k) - hy_(i, j, k - 1)));
+  ey_(i, j, k) += dt_ * inv_eps_(i, j, k) *
+                  ((hx_(i, j, k) - hx_(i, j, k - 1)) -
+                   (hz_(i, j, k) - hz_(i - 1, j, k)));
+  ez_(i, j, k) += dt_ * inv_eps_(i, j, k) *
+                  ((hy_(i, j, k) - hy_(i - 1, j, k)) -
+                   (hx_(i, j, k) - hx_(i, j - 1, k)));
+}
+
+void FdtdSim::update_h(const mesh::Region3& r) {
+  mesh::for_region(r, [&](std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k) {
+    update_h_at(i, j, k);
   });
 }
 
-void FdtdSim::update_e() {
-  // E += dt/eps * curl H; reads H at -1 neighbors.
-  for_interior3(ex_, [&](std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k) {
-    ex_(i, j, k) += dt_ * inv_eps_(i, j, k) *
-                    ((hz_(i, j, k) - hz_(i, j - 1, k)) -
-                     (hy_(i, j, k) - hy_(i, j, k - 1)));
-  });
-  for_interior3(ey_, [&](std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k) {
-    ey_(i, j, k) += dt_ * inv_eps_(i, j, k) *
-                    ((hx_(i, j, k) - hx_(i, j, k - 1)) -
-                     (hz_(i, j, k) - hz_(i - 1, j, k)));
-  });
-  for_interior3(ez_, [&](std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k) {
-    ez_(i, j, k) += dt_ * inv_eps_(i, j, k) *
-                    ((hy_(i, j, k) - hy_(i - 1, j, k)) -
-                     (hx_(i, j, k) - hx_(i, j - 1, k)));
+void FdtdSim::update_e(const mesh::Region3& r) {
+  mesh::for_region(r, [&](std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k) {
+    update_e_at(i, j, k);
   });
 }
 
@@ -141,10 +166,25 @@ void FdtdSim::apply_pec() {
 }
 
 void FdtdSim::step() {
-  exchange_all_e();
-  update_h();
-  exchange_all_h();
-  update_e();
+  // Split-phase leapfrog: each half-step updates the ghost-independent core
+  // while the other field's halos are in flight, then the rim once they
+  // have arrived. Per-point arithmetic is identical to the blocking
+  // schedule; only the sweep order differs.
+  const mesh::Region3 all = mesh::interior_region(ex_);
+  const mesh::Region3 core = mesh::core_region(ex_, 1, all);
+
+  begin_exchange_e();
+  update_h(core);
+  end_exchange_e();
+  mesh::for_rim(all, core, [&](std::ptrdiff_t i, std::ptrdiff_t j,
+                               std::ptrdiff_t k) { update_h_at(i, j, k); });
+
+  begin_exchange_h();
+  update_e(core);
+  end_exchange_h();
+  mesh::for_rim(all, core, [&](std::ptrdiff_t i, std::ptrdiff_t j,
+                               std::ptrdiff_t k) { update_e_at(i, j, k); });
+
   if (source_enabled_) {
     // Soft source: additive sinusoid with a smooth turn-on ramp.
     const double t = static_cast<double>(steps_);
@@ -204,7 +244,8 @@ double FdtdSim::max_abs_div_h() {
   // at rounding level for all time. Ghosts must be fresh before evaluating;
   // points whose +1 neighbor crosses the global boundary are skipped (the
   // PEC wall truncates the staggered cell there).
-  exchange_all_h();
+  begin_exchange_h();
+  end_exchange_h();
   double local = 0.0;
   const auto n = cfg_.n;
   for_interior3(hx_, [&](std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k) {

@@ -14,10 +14,15 @@
 // with a dielectric sphere scatterer (relative permittivity eps_r), a soft
 // sinusoidal point source on Ez, and PEC (perfect electric conductor) walls.
 //
-// Archetype structure per step: exchange E ghosts -> H grid operation ->
-// exchange H ghosts -> E grid operation -> source injection; the H update
-// reads E at +1 neighbors and the E update reads H at -1 neighbors, exactly
-// the ghost-width-1 stencil pattern the mesh archetype supports.
+// Archetype structure per step (split-phase since PR 2): begin the E halo
+// exchanges for all three components at once -> update H over the ghost-
+// independent core while the E halos are in flight -> end the E exchanges ->
+// update the H rim; then the same begin/core/end/rim pattern for the E
+// update against the H halos. The H update reads E at +1 neighbors and the
+// E update reads H at -1 neighbors, exactly the ghost-width-1 stencil
+// pattern the mesh archetype supports; each field owns a persistent
+// ExchangePlan3D (distinct tag blocks, so all three component exchanges of
+// a phase are concurrently in flight).
 //
 // Yee property exploited by the tests: the discrete divergence of H (and of
 // eps*E in charge-free regions away from the source) is *exactly* conserved
@@ -29,6 +34,8 @@
 #include <cstddef>
 
 #include "meshspectral/grid3d.hpp"
+#include "meshspectral/ops.hpp"
+#include "meshspectral/plan.hpp"
 #include "mpl/spmd.hpp"
 #include "mpl/topology.hpp"
 #include "support/ndarray.hpp"
@@ -73,11 +80,15 @@ class FdtdSim {
   [[nodiscard]] const EmConfig& config() const { return cfg_; }
 
  private:
-  void update_h();
-  void update_e();
+  void update_h_at(std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k);
+  void update_e_at(std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k);
+  void update_h(const mesh::Region3& r);
+  void update_e(const mesh::Region3& r);
   void apply_pec();
-  void exchange_all_e();
-  void exchange_all_h();
+  void begin_exchange_e();
+  void end_exchange_e();
+  void begin_exchange_h();
+  void end_exchange_h();
 
   mpl::Process& p_;
   const mpl::CartGrid3D& pgrid_;
@@ -87,6 +98,10 @@ class FdtdSim {
   bool source_enabled_ = true;
   mesh::Grid3D<double> ex_, ey_, ez_, hx_, hy_, hz_;
   mesh::Grid3D<double> inv_eps_;  ///< 1/eps per cell (precomputed material map)
+  // Persistent halo-exchange plans, one per exchanged field, on distinct
+  // tag blocks so a whole phase's exchanges can be in flight together.
+  mesh::ExchangePlan3D plan_ex_, plan_ey_, plan_ez_;
+  mesh::ExchangePlan3D plan_hx_, plan_hy_, plan_hz_;
 };
 
 /// Convenience driver for the scattering scenario; returns the final Ez

@@ -15,7 +15,9 @@
 // NPX x NPY process grid; every iteration is one boundary exchange, one
 // local grid operation, and one allreduce(max) that re-establishes copy
 // consistency of the replicated global `diffmax` before it controls the
-// loop.
+// loop. The exchange is split-phase (a persistent ExchangePlan2D): the
+// ghost-independent core is relaxed while the halo messages are in flight,
+// the rim after end_exchange.
 //
 // Determinism note: each interior point's update uses identical arithmetic
 // in both versions and the convergence test combines with max (exact under

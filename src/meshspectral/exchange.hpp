@@ -1,30 +1,35 @@
 // ppa/meshspectral/exchange.hpp
 //
-// Boundary exchange: neighboring processes swap edge strips to refresh each
-// other's ghost cells (paper Fig 8). The exchange is two-phase (x sweep, then
-// y sweep including the freshly filled x ghosts), which also fills the ghost
-// *corners* — so 9-point stencils are supported, not just 5-point ones.
+// Boundary exchange: neighboring processes swap halo strips to refresh each
+// other's ghost cells (paper Fig 8). Since PR 2 these functions are thin
+// wrappers that compile an ExchangePlan (see plan.hpp) for the grid's
+// geometry and run it blocking — one round of messages to every face, edge
+// and corner neighbor, so ghost corners are filled directly (9-point
+// stencils are supported) and a width-k halo crosses in a single round.
 //
-// Sends never block (unbounded mailboxes), so the symmetric
-// send-then-receive schedule below cannot deadlock.
+// Iterative solvers should not call these per iteration: compile the plan
+// once, keep it across iterations, and use begin_exchange / end_exchange to
+// overlap interior computation with the halo traffic (see ops.hpp's
+// apply_stencil_overlapped for the packaged pattern).
 //
-// Fast path: outgoing strips are packed once by pack_region and the vector's
-// buffer is adopted as the message payload (no serialization copy); incoming
-// strips are *borrowed* from the payload and scattered straight into the
-// ghost cells (no intermediate vector). One copy out, one copy in.
+// Sends never block (unbounded mailboxes), so the symmetric send-then-
+// receive schedule cannot deadlock. Fast path: outgoing strips are packed
+// once and the buffer is adopted as the message payload (no serialization
+// copy); incoming strips are *borrowed* from the payload and scattered
+// straight into the ghost cells. One copy out, one copy in.
+//
+// Thread-safety: each call acts on the calling rank's grid section only and
+// must be executed by every rank of `pgrid` (SPMD discipline); the functions
+// hold no shared state beyond the mailboxes.
 #pragma once
 
-#include <cstddef>
-
 #include "meshspectral/grid2d.hpp"
+#include "meshspectral/grid3d.hpp"
+#include "meshspectral/plan.hpp"
 #include "mpl/process.hpp"
 #include "mpl/topology.hpp"
 
 namespace ppa::mesh {
-
-/// User-level tag block reserved for exchanges; apps should avoid
-/// [kExchangeTagBase, kExchangeTagBase+4).
-inline constexpr int kExchangeTagBase = 1 << 20;
 
 /// Refresh all ghost layers of `grid` (including corners). Non-periodic:
 /// ghosts at the global boundary are left untouched (boundary conditions are
@@ -32,61 +37,10 @@ inline constexpr int kExchangeTagBase = 1 << 20;
 template <typename T>
 void exchange_boundaries(mpl::Process& p, const mpl::CartGrid2D& pgrid,
                          Grid2D<T>& grid) {
-  const auto g = static_cast<std::ptrdiff_t>(grid.ghost());
-  if (g == 0 || pgrid.size() == 1) return;
-  const int rank = p.rank();
-  const auto nx = static_cast<std::ptrdiff_t>(grid.nx());
-  const auto ny = static_cast<std::ptrdiff_t>(grid.ny());
-
-  constexpr int kToNorth = kExchangeTagBase + 0;
-  constexpr int kToSouth = kExchangeTagBase + 1;
-  constexpr int kToWest = kExchangeTagBase + 2;
-  constexpr int kToEast = kExchangeTagBase + 3;
-
-  const int north = pgrid.north(rank);
-  const int south = pgrid.south(rank);
-  const int west = pgrid.west(rank);
-  const int east = pgrid.east(rank);
-
-  // Phase 1: x direction (rows). Send top/bottom interior strips.
-  if (north != mpl::kNoNeighbor) {
-    p.send(north, kToNorth, grid.pack_region(0, g, 0, ny));
-  }
-  if (south != mpl::kNoNeighbor) {
-    p.send(south, kToSouth, grid.pack_region(nx - g, nx, 0, ny));
-  }
-  if (south != mpl::kNoNeighbor) {
-    const auto strip = p.recv_borrow<T>(south, kToNorth);
-    grid.unpack_region(nx, nx + g, 0, ny, strip.view());
-  }
-  if (north != mpl::kNoNeighbor) {
-    const auto strip = p.recv_borrow<T>(north, kToSouth);
-    grid.unpack_region(-g, 0, 0, ny, strip.view());
-  }
-
-  // Phase 2: y direction (columns), including the x-ghost rows just filled,
-  // which propagates corner values diagonally.
-  if (west != mpl::kNoNeighbor) {
-    p.send(west, kToWest, grid.pack_region(-g, nx + g, 0, g));
-  }
-  if (east != mpl::kNoNeighbor) {
-    p.send(east, kToEast, grid.pack_region(-g, nx + g, ny - g, ny));
-  }
-  if (east != mpl::kNoNeighbor) {
-    const auto strip = p.recv_borrow<T>(east, kToWest);
-    grid.unpack_region(-g, nx + g, ny, ny + g, strip.view());
-  }
-  if (west != mpl::kNoNeighbor) {
-    const auto strip = p.recv_borrow<T>(west, kToEast);
-    grid.unpack_region(-g, nx + g, -g, 0, strip.view());
-  }
+  if (grid.ghost() == 0 || pgrid.size() == 1) return;
+  ExchangePlan2D plan(pgrid, p.rank(), grid);
+  plan.exchange(p, grid);
 }
-
-/// Per-axis periodicity selector for exchange_boundaries_mixed.
-struct Periodicity {
-  bool x = false;
-  bool y = false;
-};
 
 /// General boundary exchange with optional wrap-around per axis. At a
 /// periodic global boundary, ghosts are filled from the opposite side (by a
@@ -95,61 +49,10 @@ struct Periodicity {
 template <typename T>
 void exchange_boundaries_mixed(mpl::Process& p, const mpl::CartGrid2D& pgrid,
                                Grid2D<T>& grid, Periodicity periodic) {
-  const auto g = static_cast<std::ptrdiff_t>(grid.ghost());
-  if (g == 0) return;
-  const int rank = p.rank();
-  const auto [px, py] = pgrid.coords_of(rank);
-  const auto nx = static_cast<std::ptrdiff_t>(grid.nx());
-  const auto ny = static_cast<std::ptrdiff_t>(grid.ny());
-
-  constexpr int kToNorth = kExchangeTagBase + 0;
-  constexpr int kToSouth = kExchangeTagBase + 1;
-  constexpr int kToWest = kExchangeTagBase + 2;
-  constexpr int kToEast = kExchangeTagBase + 3;
-
-  const auto wrapped = [](int c, int n) { return ((c % n) + n) % n; };
-  const int north = periodic.x ? pgrid.rank_of(wrapped(px - 1, pgrid.npx()), py)
-                               : pgrid.north(rank);
-  const int south = periodic.x ? pgrid.rank_of(wrapped(px + 1, pgrid.npx()), py)
-                               : pgrid.south(rank);
-  const int west = periodic.y ? pgrid.rank_of(px, wrapped(py - 1, pgrid.npy()))
-                              : pgrid.west(rank);
-  const int east = periodic.y ? pgrid.rank_of(px, wrapped(py + 1, pgrid.npy()))
-                              : pgrid.east(rank);
-
-  // Phase 1: x direction.
-  if (north == rank) {  // periodic with a single process along x: local copy
-    grid.unpack_region(nx, nx + g, 0, ny, grid.pack_region(0, g, 0, ny));
-    grid.unpack_region(-g, 0, 0, ny, grid.pack_region(nx - g, nx, 0, ny));
-  } else {
-    if (north != mpl::kNoNeighbor) p.send(north, kToNorth, grid.pack_region(0, g, 0, ny));
-    if (south != mpl::kNoNeighbor) {
-      p.send(south, kToSouth, grid.pack_region(nx - g, nx, 0, ny));
-      const auto strip = p.recv_borrow<T>(south, kToNorth);
-      grid.unpack_region(nx, nx + g, 0, ny, strip.view());
-    }
-    if (north != mpl::kNoNeighbor) {
-      const auto strip = p.recv_borrow<T>(north, kToSouth);
-      grid.unpack_region(-g, 0, 0, ny, strip.view());
-    }
-  }
-
-  // Phase 2: y direction, ghost rows included (fills corners).
-  if (west == rank) {
-    grid.unpack_region(-g, nx + g, ny, ny + g, grid.pack_region(-g, nx + g, 0, g));
-    grid.unpack_region(-g, nx + g, -g, 0, grid.pack_region(-g, nx + g, ny - g, ny));
-  } else {
-    if (west != mpl::kNoNeighbor) p.send(west, kToWest, grid.pack_region(-g, nx + g, 0, g));
-    if (east != mpl::kNoNeighbor) {
-      p.send(east, kToEast, grid.pack_region(-g, nx + g, ny - g, ny));
-      const auto strip = p.recv_borrow<T>(east, kToWest);
-      grid.unpack_region(-g, nx + g, ny, ny + g, strip.view());
-    }
-    if (west != mpl::kNoNeighbor) {
-      const auto strip = p.recv_borrow<T>(west, kToEast);
-      grid.unpack_region(-g, nx + g, -g, 0, strip.view());
-    }
-  }
+  if (grid.ghost() == 0) return;
+  ExchangePlan2D plan(pgrid, p.rank(), grid,
+                      ExchangePlan2D::Options{periodic, true, 0});
+  plan.exchange(p, grid);
 }
 
 /// Periodic variant: wraps both axes (used by periodic-domain applications,
@@ -159,6 +62,16 @@ template <typename T>
 void exchange_boundaries_periodic(mpl::Process& p, const mpl::CartGrid2D& pgrid,
                                   Grid2D<T>& grid) {
   exchange_boundaries_mixed(p, pgrid, grid, Periodicity{true, true});
+}
+
+/// Refresh ghost layers of a 3-D grid (faces, edges and corners, one round).
+/// Non-periodic; global-boundary ghosts are untouched.
+template <typename T>
+void exchange_boundaries(mpl::Process& p, const mpl::CartGrid3D& pgrid,
+                         Grid3D<T>& grid) {
+  if (grid.ghost() == 0 || pgrid.size() == 1) return;
+  ExchangePlan3D plan(pgrid, p.rank(), grid);
+  plan.exchange(p, grid);
 }
 
 }  // namespace ppa::mesh

@@ -8,6 +8,12 @@
 // operations that establish the same value on every process — a broadcast
 // from one rank, or a value that is the result of a reduction (asserted
 // consistent across ranks in debug verification mode).
+//
+// Thread-safety and ownership: each rank owns its own Global<T> replica;
+// the object itself holds no shared state. get() never blocks; the store_*
+// operations communicate (broadcast / allgather / allreduce) and therefore
+// block until the collective completes — every rank must call them in the
+// same order (SPMD discipline).
 #pragma once
 
 #include <cassert>

@@ -10,6 +10,12 @@
 // [0, ny_local); ghost cells are addressed with negative indices or indices
 // >= nx_local/ny_local (up to the ghost width), which makes stencil code read
 // exactly like its sequential counterpart:  u(i-1, j) + u(i+1, j) + ...
+//
+// Thread-safety and ownership: a Grid2D is owned by exactly one rank
+// (thread) — the container performs no synchronization and no communication
+// itself; ghost refresh goes through exchange.hpp / plan.hpp. pack_region
+// returns a freshly owned buffer (safe to adopt as a message payload);
+// unpack_region accepts a borrowed span. Accessors never block.
 #pragma once
 
 #include <cassert>

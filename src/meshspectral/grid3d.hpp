@@ -3,6 +3,12 @@
 // Local section of a 3-D grid distributed over a 3-D Cartesian process grid
 // with ghost layers — the substrate for the paper's three-dimensional mesh
 // archetype applications (the FDTD electromagnetics code of section 7.2).
+// Ghost refresh lives in exchange.hpp (blocking) and plan.hpp (persistent
+// split-phase plans).
+//
+// Thread-safety and ownership: a Grid3D is owned by exactly one rank
+// (thread); the container itself performs no synchronization and no
+// communication. Accessors never block.
 #pragma once
 
 #include <cassert>
@@ -10,7 +16,6 @@
 #include <span>
 #include <vector>
 
-#include "mpl/process.hpp"
 #include "mpl/topology.hpp"
 #include "support/ndarray.hpp"
 #include "support/partition.hpp"
@@ -139,73 +144,5 @@ class Grid3D {
   Range range_[3];
   std::vector<T> storage_;
 };
-
-/// Tag block for 3-D exchanges (distinct from the 2-D block).
-inline constexpr int kExchangeTagBase3D = (1 << 20) + 8;
-
-/// Refresh ghost layers of a 3-D grid: three sweeps (x, then y including x
-/// ghosts, then z including x/y ghosts), filling edges and corners too.
-/// Non-periodic; global-boundary ghosts are untouched.
-template <typename T>
-void exchange_boundaries(mpl::Process& p, const mpl::CartGrid3D& pgrid,
-                         Grid3D<T>& grid) {
-  const auto g = static_cast<std::ptrdiff_t>(grid.ghost());
-  if (g == 0 || pgrid.size() == 1) return;
-  const int rank = p.rank();
-  const auto nx = static_cast<std::ptrdiff_t>(grid.nx());
-  const auto ny = static_cast<std::ptrdiff_t>(grid.ny());
-  const auto nz = static_cast<std::ptrdiff_t>(grid.nz());
-
-  // Axis sweeps. lo/hi bounds widen as earlier axes' ghosts are filled.
-  std::ptrdiff_t ilo = 0, ihi = nx, jlo = 0, jhi = ny, klo = 0, khi = nz;
-  for (int axis = 0; axis < 3; ++axis) {
-    const int minus = pgrid.neighbor(rank, axis, -1);
-    const int plus = pgrid.neighbor(rank, axis, +1);
-    const int tag_minus = kExchangeTagBase3D + axis * 2;
-    const int tag_plus = kExchangeTagBase3D + axis * 2 + 1;
-    const std::ptrdiff_t n = (axis == 0) ? nx : (axis == 1) ? ny : nz;
-
-    // Region helpers for a slab [a, b) along `axis`, full extent elsewhere.
-    const auto pack = [&](std::ptrdiff_t a, std::ptrdiff_t b) {
-      switch (axis) {
-        case 0: return grid.pack_region(a, b, jlo, jhi, klo, khi);
-        case 1: return grid.pack_region(ilo, ihi, a, b, klo, khi);
-        default: return grid.pack_region(ilo, ihi, jlo, jhi, a, b);
-      }
-    };
-    const auto unpack = [&](std::ptrdiff_t a, std::ptrdiff_t b,
-                            std::span<const T> buf) {
-      switch (axis) {
-        case 0: grid.unpack_region(a, b, jlo, jhi, klo, khi, buf); break;
-        case 1: grid.unpack_region(ilo, ihi, a, b, klo, khi, buf); break;
-        default: grid.unpack_region(ilo, ihi, jlo, jhi, a, b, buf); break;
-      }
-    };
-
-    if (minus != mpl::kNoNeighbor) p.send(minus, tag_minus, pack(0, g));
-    if (plus != mpl::kNoNeighbor) p.send(plus, tag_plus, pack(n - g, n));
-    if (plus != mpl::kNoNeighbor) {
-      const auto slab = p.recv_borrow<T>(plus, tag_minus);
-      unpack(n, n + g, slab.view());
-    }
-    if (minus != mpl::kNoNeighbor) {
-      const auto slab = p.recv_borrow<T>(minus, tag_plus);
-      unpack(-g, 0, slab.view());
-    }
-
-    // Widen the swept axis for subsequent sweeps so edges/corners fill.
-    switch (axis) {
-      case 0:
-        ilo = -g;
-        ihi = nx + g;
-        break;
-      case 1:
-        jlo = -g;
-        jhi = ny + g;
-        break;
-      default: break;
-    }
-  }
-}
 
 }  // namespace ppa::mesh

@@ -6,6 +6,11 @@
 // in a single process"). We implement the gather-to-root strategy: sections
 // are collected at the root, assembled into a dense array, and written
 // there; reads scatter from the root.
+//
+// Thread-safety: every function here is a collective — all ranks of the
+// process grid must call it in the same order, and each call blocks until
+// its gathers/scatters complete. Only the root touches the filesystem; the
+// returned dense array is owned by the caller (empty on non-root ranks).
 #pragma once
 
 #include <cstdint>

@@ -1,7 +1,10 @@
 // ppa/meshspectral/meshspectral.hpp — umbrella header for the mesh-spectral
-// archetype: distributed grids (2-D/3-D) with ghost boundaries, boundary
-// exchange, grid/reduction operations, row/column distributions with
-// redistribution, replicated globals, and file I/O.
+// archetype: distributed grids (2-D/3-D) with ghost boundaries, persistent
+// split-phase halo-exchange plans plus blocking exchange wrappers,
+// grid/reduction operations (including overlapped core/rim stencils),
+// row/column distributions with plan-based redistribution, replicated
+// globals, and file I/O. See docs/archetypes.md for the archetype-to-header
+// map and docs/substrate.md for the communication substrate underneath.
 #pragma once
 
 #include "meshspectral/exchange.hpp"   // IWYU pragma: export
@@ -10,4 +13,5 @@
 #include "meshspectral/grid3d.hpp"     // IWYU pragma: export
 #include "meshspectral/io.hpp"         // IWYU pragma: export
 #include "meshspectral/ops.hpp"        // IWYU pragma: export
+#include "meshspectral/plan.hpp"       // IWYU pragma: export
 #include "meshspectral/rowcol.hpp"     // IWYU pragma: export

@@ -11,12 +11,28 @@
 //                           have access to its result");
 //   * row/column operations — see rowcol.hpp;
 //   * file I/O operations  — see io.hpp.
+//
+// Split-phase support: a stencil grid operation over the local section
+// splits into a ghost-independent *core* (points at least `width` cells from
+// the section edge, computable while a halo exchange is in flight) and a
+// ghost-dependent *rim* (the remaining border of the section, computable
+// only after end_exchange). core_region / for_region / for_rim express that
+// split; apply_stencil_overlapped packages the full begin / core / end / rim
+// pattern around an ExchangePlan2D.
+//
+// Thread-safety: all helpers run on the calling rank's data only and do not
+// synchronize; the reduction operations communicate via the Process handle
+// and must be called by every rank in the same order (SPMD discipline).
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstddef>
 #include <utility>
 
 #include "meshspectral/grid2d.hpp"
+#include "meshspectral/grid3d.hpp"
+#include "meshspectral/plan.hpp"
 #include "mpl/process.hpp"
 
 namespace ppa::mesh {
@@ -32,6 +48,120 @@ void for_interior(const Grid2D<T>& grid, F&& f) {
     for (std::ptrdiff_t j = 0; j < ny; ++j) f(i, j);
   }
 }
+
+// ---------------------------------------------------- core/rim iteration --
+//
+// Region2/Region3 (the half-open local-index rectangles) are defined in
+// plan.hpp and shared with the exchange plans' pack/unpack rectangles.
+
+/// The full local interior of a section as a region.
+template <typename T>
+[[nodiscard]] Region2 interior_region(const Grid2D<T>& grid) {
+  return {0, static_cast<std::ptrdiff_t>(grid.nx()), 0,
+          static_cast<std::ptrdiff_t>(grid.ny())};
+}
+
+/// Intersection of `r` with the ghost-independent core for stencil width
+/// `w`: points whose w-neighborhood stays inside the local section.
+template <typename T>
+[[nodiscard]] Region2 core_region(const Grid2D<T>& grid, std::ptrdiff_t w,
+                                  Region2 r) {
+  return {std::max(r.i0, w),
+          std::min(r.i1, static_cast<std::ptrdiff_t>(grid.nx()) - w),
+          std::max(r.j0, w),
+          std::min(r.j1, static_cast<std::ptrdiff_t>(grid.ny()) - w)};
+}
+template <typename T>
+[[nodiscard]] Region2 core_region(const Grid2D<T>& grid, std::ptrdiff_t w) {
+  return core_region(grid, w, interior_region(grid));
+}
+
+/// Apply f(i, j) over a region.
+template <typename F>
+void for_region(Region2 r, F&& f) {
+  for (std::ptrdiff_t i = r.i0; i < r.i1; ++i) {
+    for (std::ptrdiff_t j = r.j0; j < r.j1; ++j) f(i, j);
+  }
+}
+
+/// Apply f(i, j) over `r` minus `core` (each point exactly once, in
+/// ascending (i, j) order for cache-friendly row traversal). `core` must
+/// have been produced by core_region(grid, w, r) (i.e. be a sub-rectangle
+/// of `r`); an empty core degenerates to the whole of `r`.
+template <typename F>
+void for_rim(Region2 r, Region2 core, F&& f) {
+  if (core.empty()) {
+    for_region(r, f);
+    return;
+  }
+  for (std::ptrdiff_t i = r.i0; i < r.i1; ++i) {
+    if (i < core.i0 || i >= core.i1) {
+      for (std::ptrdiff_t j = r.j0; j < r.j1; ++j) f(i, j);
+    } else {
+      for (std::ptrdiff_t j = r.j0; j < core.j0; ++j) f(i, j);
+      for (std::ptrdiff_t j = core.j1; j < r.j1; ++j) f(i, j);
+    }
+  }
+}
+
+/// 3-D equivalents.
+template <typename T>
+[[nodiscard]] Region3 interior_region(const Grid3D<T>& grid) {
+  return {0, static_cast<std::ptrdiff_t>(grid.nx()),
+          0, static_cast<std::ptrdiff_t>(grid.ny()),
+          0, static_cast<std::ptrdiff_t>(grid.nz())};
+}
+
+template <typename T>
+[[nodiscard]] Region3 core_region(const Grid3D<T>& grid, std::ptrdiff_t w,
+                                  Region3 r) {
+  return {std::max(r.i0, w),
+          std::min(r.i1, static_cast<std::ptrdiff_t>(grid.nx()) - w),
+          std::max(r.j0, w),
+          std::min(r.j1, static_cast<std::ptrdiff_t>(grid.ny()) - w),
+          std::max(r.k0, w),
+          std::min(r.k1, static_cast<std::ptrdiff_t>(grid.nz()) - w)};
+}
+template <typename T>
+[[nodiscard]] Region3 core_region(const Grid3D<T>& grid, std::ptrdiff_t w) {
+  return core_region(grid, w, interior_region(grid));
+}
+
+template <typename F>
+void for_region(Region3 r, F&& f) {
+  for (std::ptrdiff_t i = r.i0; i < r.i1; ++i) {
+    for (std::ptrdiff_t j = r.j0; j < r.j1; ++j) {
+      for (std::ptrdiff_t k = r.k0; k < r.k1; ++k) f(i, j, k);
+    }
+  }
+}
+
+/// 3-D rim traversal, ascending (i, j, k) order (see the 2-D overload).
+template <typename F>
+void for_rim(Region3 r, Region3 core, F&& f) {
+  if (core.empty()) {
+    for_region(r, f);
+    return;
+  }
+  for (std::ptrdiff_t i = r.i0; i < r.i1; ++i) {
+    if (i < core.i0 || i >= core.i1) {
+      for (std::ptrdiff_t j = r.j0; j < r.j1; ++j) {
+        for (std::ptrdiff_t k = r.k0; k < r.k1; ++k) f(i, j, k);
+      }
+      continue;
+    }
+    for (std::ptrdiff_t j = r.j0; j < r.j1; ++j) {
+      if (j < core.j0 || j >= core.j1) {
+        for (std::ptrdiff_t k = r.k0; k < r.k1; ++k) f(i, j, k);
+      } else {
+        for (std::ptrdiff_t k = r.k0; k < core.k0; ++k) f(i, j, k);
+        for (std::ptrdiff_t k = core.k1; k < r.k1; ++k) f(i, j, k);
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------- grid operations --
 
 /// Pointwise grid operation: out(i,j) = f(in(i,j)). `out` and `in` may be
 /// the same grid (no neighbor reads, so aliasing is safe).
@@ -49,6 +179,30 @@ void apply_stencil(Grid2D<U>& out, const Grid2D<T>& in, F&& f) {
          "stencil operations require disjoint input and output grids");
   for_interior(in, [&](std::ptrdiff_t i, std::ptrdiff_t j) { out(i, j) = f(in, i, j); });
 }
+
+/// Stencil grid operation with the halo exchange overlapped: begin the
+/// plan's exchange on `in`, update the ghost-independent core while the
+/// halo messages are in flight, complete the exchange, then update the rim.
+/// `width` is the stencil radius (<= the plan's ghost width). Results are
+/// identical to exchange-then-apply_stencil; only the schedule differs.
+/// `in` is non-const because begin_exchange performs self-wrap ghost copies
+/// on periodic single-rank axes (the interior is never written).
+template <typename T, typename U, typename F>
+void apply_stencil_overlapped(mpl::Process& p, ExchangePlan2D& plan,
+                              Grid2D<U>& out, Grid2D<T>& in, std::ptrdiff_t width,
+                              F&& f) {
+  assert(static_cast<const void*>(&out) != static_cast<const void*>(&in) &&
+         "stencil operations require disjoint input and output grids");
+  assert(width <= static_cast<std::ptrdiff_t>(plan.ghost()));
+  plan.begin_exchange(p, in);
+  const Region2 all = interior_region(in);
+  const Region2 core = core_region(in, width, all);
+  for_region(core, [&](std::ptrdiff_t i, std::ptrdiff_t j) { out(i, j) = f(in, i, j); });
+  plan.end_exchange(p, in);
+  for_rim(all, core, [&](std::ptrdiff_t i, std::ptrdiff_t j) { out(i, j) = f(in, i, j); });
+}
+
+// ------------------------------------------------------------- reductions --
 
 /// Local (per-process) reduction over the interior.
 template <typename T, typename Acc, typename F>

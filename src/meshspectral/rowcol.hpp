@@ -11,12 +11,23 @@
 // matrix stores its local *columns* contiguously (Array2D with shape
 // cols_local x nrows) so that column operations enjoy unit-stride access —
 // i.e. the local block is held transposed.
+//
+// Redistribution is plan-based: RowsToColsPlan / ColsToRowsPlan compile the
+// per-peer block ranges once and expose split begin/end phases (begin packs
+// and sends every part without blocking; end receives and scatters), so a
+// caller can compute between the phases. The redistribute() functions are
+// the blocking wrappers.
+//
+// Thread-safety and ownership: a distributed matrix and a plan are owned by
+// one rank (thread); begin adopts each outgoing part's buffer as immutable
+// shared payload, and end borrows incoming payloads (no intermediate copy).
 #pragma once
 
 #include <cstddef>
 #include <span>
 #include <vector>
 
+#include "meshspectral/plan.hpp"
 #include "mpl/process.hpp"
 #include "support/ndarray.hpp"
 #include "support/partition.hpp"
@@ -110,83 +121,211 @@ class ColDistributed {
   Array2D<T> local_;
 };
 
-/// Redistribute rows -> columns (paper Fig 7). Every process sends to every
-/// other process the intersection of its rows with the destination's
-/// columns: one all-to-all with P*(P-1) messages.
+namespace detail {
+
+/// Common scaffolding of the two redistribution plans: matrix geometry,
+/// tag bookkeeping (validated against the reserved redistribution tag
+/// space), the snapshotted self part, and the single-flight state.
+class RedistributePlanBase {
+ public:
+  [[nodiscard]] bool in_flight() const noexcept { return in_flight_; }
+
+ protected:
+  RedistributePlanBase() = default;
+  RedistributePlanBase(int nprocs, int rank, std::size_t nrows,
+                       std::size_t ncols, int tag_block)
+      : nprocs_(nprocs),
+        rank_(rank),
+        nrows_(nrows),
+        ncols_(ncols),
+        tag_(kRedistributeTagBase + tag_block) {
+    assert(tag_block >= 0 &&
+           tag_block < kExchangeTagBlocks * kExchangeTagStride &&
+           "redistribution plan: tag_block outside the reserved tag space");
+  }
+
+  void mark_begin(mpl::Process& p) {
+    assert(!in_flight_ && "redistribution plan: begin without matching end");
+    in_flight_ = true;
+    p.world().trace().count_op(mpl::Op::kAlltoall);
+  }
+  void mark_end() {
+    assert(in_flight_ && "redistribution plan: end without begin");
+    in_flight_ = false;
+  }
+
+  int nprocs_ = 1;
+  int rank_ = 0;
+  std::size_t nrows_ = 0;
+  std::size_t ncols_ = 0;
+  int tag_ = kRedistributeTagBase;
+  mpl::Payload self_part_;
+
+ private:
+  bool in_flight_ = false;
+};
+
+}  // namespace detail
+
+/// Persistent split-phase plan for rows -> columns redistribution (paper
+/// Fig 7): every process sends to every other process the intersection of
+/// its rows with the destination's columns — a personalized all-to-all with
+/// P*(P-1) messages. Compile once, reuse every transform. The plan is
+/// geometry-only; begin/end are templated on the element type (begin and
+/// its matching end must use the same type). At most one exchange per plan
+/// may be in flight; plans concurrently in flight need distinct tag blocks.
+class RowsToColsPlan : public detail::RedistributePlanBase {
+ public:
+  RowsToColsPlan() = default;
+  RowsToColsPlan(int nprocs, int rank, std::size_t nrows, std::size_t ncols,
+                 int tag_block = 0)
+      : RedistributePlanBase(nprocs, rank, nrows, ncols, tag_block) {}
+
+  /// Pack and send every peer's part (never blocks); the part kept for this
+  /// rank is snapshotted into an internal payload.
+  template <mpl::Wire T>
+  void begin_exchange(mpl::Process& p, const RowDistributed<T>& in) {
+    assert(in.nrows() == nrows_ && in.ncols() == ncols_ && p.size() == nprocs_);
+    mark_begin(p);
+    for (int q = 0; q < nprocs_; ++q) {
+      const Range qcols = block_range(ncols_, static_cast<std::size_t>(nprocs_),
+                                      static_cast<std::size_t>(q));
+      std::vector<T> part;
+      part.reserve(in.rows_local() * qcols.size());
+      // Pack column-major within the part so the receiver can append rows
+      // to its transposed storage directly: for each destination column,
+      // all of our rows in row order.
+      for (std::size_t c = qcols.lo; c < qcols.hi; ++c) {
+        for (std::size_t r = 0; r < in.rows_local(); ++r) {
+          part.push_back(in.at(r, c));
+        }
+      }
+      if (q == rank_) {
+        self_part_ = mpl::Payload::adopt(std::move(part));
+      } else {
+        p.send(q, tag_, std::move(part));
+      }
+    }
+  }
+
+  /// Receive every peer's part and scatter into the transposed block.
+  template <mpl::Wire T>
+  void end_exchange(mpl::Process& p, ColDistributed<T>& out) {
+    assert(out.nrows() == nrows_ && out.ncols() == ncols_);
+    mark_end();
+    for (int s = 0; s < nprocs_; ++s) {
+      const Range srows = block_range(nrows_, static_cast<std::size_t>(nprocs_),
+                                      static_cast<std::size_t>(s));
+      const auto scatter = [&](std::span<const T> buf) {
+        assert(buf.size() == srows.size() * out.cols_local());
+        std::size_t k = 0;
+        for (std::size_t c = 0; c < out.cols_local(); ++c) {
+          for (std::size_t r = srows.lo; r < srows.hi; ++r) {
+            out.at(r, c) = buf[k++];
+          }
+        }
+      };
+      if (s == rank_) {
+        scatter(mpl::payload_view<T>(self_part_));
+      } else {
+        const auto part = p.recv_borrow<T>(s, tag_);
+        scatter(part.view());
+      }
+    }
+    self_part_ = {};
+  }
+
+  template <mpl::Wire T>
+  void exchange(mpl::Process& p, const RowDistributed<T>& in,
+                ColDistributed<T>& out) {
+    begin_exchange(p, in);
+    end_exchange(p, out);
+  }
+};
+
+/// Persistent split-phase plan for columns -> rows redistribution (the
+/// inverse of RowsToColsPlan; same contracts).
+class ColsToRowsPlan : public detail::RedistributePlanBase {
+ public:
+  ColsToRowsPlan() = default;
+  ColsToRowsPlan(int nprocs, int rank, std::size_t nrows, std::size_t ncols,
+                 int tag_block = 0)
+      : RedistributePlanBase(nprocs, rank, nrows, ncols, tag_block) {}
+
+  template <mpl::Wire T>
+  void begin_exchange(mpl::Process& p, const ColDistributed<T>& in) {
+    assert(in.nrows() == nrows_ && in.ncols() == ncols_ && p.size() == nprocs_);
+    mark_begin(p);
+    for (int q = 0; q < nprocs_; ++q) {
+      const Range qrows = block_range(nrows_, static_cast<std::size_t>(nprocs_),
+                                      static_cast<std::size_t>(q));
+      std::vector<T> part;
+      part.reserve(qrows.size() * in.cols_local());
+      // Pack row-major within the part: for each destination row, all of
+      // our columns in column order.
+      for (std::size_t r = qrows.lo; r < qrows.hi; ++r) {
+        for (std::size_t c = 0; c < in.cols_local(); ++c) {
+          part.push_back(in.at(r, c));
+        }
+      }
+      if (q == rank_) {
+        self_part_ = mpl::Payload::adopt(std::move(part));
+      } else {
+        p.send(q, tag_, std::move(part));
+      }
+    }
+  }
+
+  template <mpl::Wire T>
+  void end_exchange(mpl::Process& p, RowDistributed<T>& out) {
+    assert(out.nrows() == nrows_ && out.ncols() == ncols_);
+    mark_end();
+    for (int s = 0; s < nprocs_; ++s) {
+      const Range scols = block_range(ncols_, static_cast<std::size_t>(nprocs_),
+                                      static_cast<std::size_t>(s));
+      const auto scatter = [&](std::span<const T> buf) {
+        assert(buf.size() == out.rows_local() * scols.size());
+        std::size_t k = 0;
+        for (std::size_t r = 0; r < out.rows_local(); ++r) {
+          for (std::size_t c = scols.lo; c < scols.hi; ++c) {
+            out.at(r, c) = buf[k++];
+          }
+        }
+      };
+      if (s == rank_) {
+        scatter(mpl::payload_view<T>(self_part_));
+      } else {
+        const auto part = p.recv_borrow<T>(s, tag_);
+        scatter(part.view());
+      }
+    }
+    self_part_ = {};
+  }
+
+  template <mpl::Wire T>
+  void exchange(mpl::Process& p, const ColDistributed<T>& in,
+                RowDistributed<T>& out) {
+    begin_exchange(p, in);
+    end_exchange(p, out);
+  }
+};
+
+/// Redistribute rows -> columns (blocking wrapper over RowsToColsPlan).
 template <mpl::Wire T>
 void redistribute(mpl::Process& p, const RowDistributed<T>& in,
                   ColDistributed<T>& out) {
-  const int np = p.size();
   assert(in.nrows() == out.nrows() && in.ncols() == out.ncols());
-
-  std::vector<std::vector<T>> parts(static_cast<std::size_t>(np));
-  for (int q = 0; q < np; ++q) {
-    const Range qcols = block_range(in.ncols(), static_cast<std::size_t>(np),
-                                    static_cast<std::size_t>(q));
-    auto& part = parts[static_cast<std::size_t>(q)];
-    part.reserve(in.rows_local() * qcols.size());
-    // Pack column-major within the part so the receiver can append rows to
-    // its transposed storage directly: for each destination column, all of
-    // our rows in row order.
-    for (std::size_t c = qcols.lo; c < qcols.hi; ++c) {
-      for (std::size_t r = 0; r < in.rows_local(); ++r) {
-        part.push_back(in.at(r, c));
-      }
-    }
-  }
-  auto received = p.alltoall(std::move(parts));
-
-  // From source s we received, for each of our columns, s's rows (in global
-  // row order). Scatter into the transposed local block.
-  for (int s = 0; s < np; ++s) {
-    const Range srows = block_range(in.nrows(), static_cast<std::size_t>(np),
-                                    static_cast<std::size_t>(s));
-    const auto& buf = received[static_cast<std::size_t>(s)];
-    assert(buf.size() == srows.size() * out.cols_local());
-    std::size_t k = 0;
-    for (std::size_t c = 0; c < out.cols_local(); ++c) {
-      for (std::size_t r = srows.lo; r < srows.hi; ++r) {
-        out.at(r, c) = buf[k++];
-      }
-    }
-  }
+  RowsToColsPlan plan(p.size(), p.rank(), in.nrows(), in.ncols());
+  plan.exchange(p, in, out);
 }
 
-/// Redistribute columns -> rows (inverse of the above).
+/// Redistribute columns -> rows (blocking wrapper over ColsToRowsPlan).
 template <mpl::Wire T>
 void redistribute(mpl::Process& p, const ColDistributed<T>& in,
                   RowDistributed<T>& out) {
-  const int np = p.size();
   assert(in.nrows() == out.nrows() && in.ncols() == out.ncols());
-
-  std::vector<std::vector<T>> parts(static_cast<std::size_t>(np));
-  for (int q = 0; q < np; ++q) {
-    const Range qrows = block_range(in.nrows(), static_cast<std::size_t>(np),
-                                    static_cast<std::size_t>(q));
-    auto& part = parts[static_cast<std::size_t>(q)];
-    part.reserve(qrows.size() * in.cols_local());
-    // Pack row-major within the part: for each destination row, all of our
-    // columns in column order.
-    for (std::size_t r = qrows.lo; r < qrows.hi; ++r) {
-      for (std::size_t c = 0; c < in.cols_local(); ++c) {
-        part.push_back(in.at(r, c));
-      }
-    }
-  }
-  auto received = p.alltoall(std::move(parts));
-
-  for (int s = 0; s < np; ++s) {
-    const Range scols = block_range(in.ncols(), static_cast<std::size_t>(np),
-                                    static_cast<std::size_t>(s));
-    const auto& buf = received[static_cast<std::size_t>(s)];
-    assert(buf.size() == out.rows_local() * scols.size());
-    std::size_t k = 0;
-    for (std::size_t r = 0; r < out.rows_local(); ++r) {
-      for (std::size_t c = scols.lo; c < scols.hi; ++c) {
-        out.at(r, c) = buf[k++];
-      }
-    }
-  }
+  ColsToRowsPlan plan(p.size(), p.rank(), in.nrows(), in.ncols());
+  plan.exchange(p, in, out);
 }
 
 /// Assemble a row-distributed matrix on the root process (rank order gives

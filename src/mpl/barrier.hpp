@@ -5,6 +5,11 @@
 // of barrier synchronization"; this is that primitive. std::barrier cannot be
 // torn down while threads are parked in it, which we need for clean failure
 // propagation, hence a hand-rolled condition-variable barrier.
+//
+// Thread-safety: fully thread-safe and reusable across generations.
+// arrive_and_wait blocks until all participants arrive (or throws
+// WorldAborted on teardown); abort() never blocks and is safe from any
+// thread, including one currently parked in the barrier's own wait.
 #pragma once
 
 #include <condition_variable>

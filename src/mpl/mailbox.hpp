@@ -25,6 +25,12 @@
 //     stamped with an arrival sequence number), which is the strongest —
 //     and deterministic — ordering the old global deque provided.
 //   - abort() releases every blocked receiver with WorldAborted.
+//
+// Thread-safety and blocking contract: a Mailbox is fully thread-safe —
+// any thread may push; the owning rank (usually one thread) pops. push and
+// try_pop never block; pop blocks (spin briefly, then park) until a match
+// arrives or the world aborts. Envelopes transfer payload ownership by
+// refcount — no data is copied through the queue.
 #pragma once
 
 #include <atomic>

@@ -8,6 +8,13 @@
 // bump, not a deep copy — while the distributed-memory discipline of the
 // machines the paper targets (Intel Delta / Paragon / IBM SP) is preserved:
 // no two "processes" (threads) ever share *mutable* state through a message.
+//
+// Ownership contract: Payload::adopt takes a vector's storage (the caller
+// relinquishes it — never reuse a moved-in buffer); payload_view and
+// Received<T> *borrow* — the view is valid only while the owning
+// Payload/Received lives, and borrowed bytes must never be mutated.
+// Payloads are immutable after construction, hence freely shareable across
+// threads; none of these functions block.
 #pragma once
 
 #include <array>

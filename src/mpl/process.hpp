@@ -32,6 +32,14 @@
 // discipline); internal message tags are derived from a per-rank collective
 // sequence number, which therefore agrees across ranks and cannot collide
 // with user tags (user tags must be non-negative; internal tags are negative).
+//
+// Thread-safety and blocking contract: a Process is the private handle of
+// one rank's thread — do not share it across threads. send* never block;
+// recv*, sendrecv, barrier and every collective block until satisfied (and
+// throw WorldAborted if the world is torn down). Ownership fast paths:
+// send(..., std::move(vec)) adopts the buffer (caller relinquishes it);
+// recv_borrow returns a zero-copy view valid while the Received<T> lives;
+// recv_into deserializes into caller-owned storage.
 #pragma once
 
 #include <algorithm>

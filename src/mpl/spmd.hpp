@@ -8,6 +8,12 @@
 // Failure semantics: if any rank throws, the world is aborted — every other
 // rank blocked in a recv/barrier/collective is released with WorldAborted —
 // and the first non-WorldAborted exception is rethrown in the caller.
+//
+// Thread-safety: spmd_run blocks the calling thread until every rank joins;
+// the body runs concurrently on N threads, each owning its Process, its
+// grids and its plans. State captured by reference into the body is shared
+// across ranks — share only immutable inputs (problem configs, topologies)
+// or rank-indexed slots (as spmd_collect does for results).
 #pragma once
 
 #include <exception>

@@ -3,6 +3,10 @@
 // Cartesian process topologies for the mesh-spectral archetype: ranks are
 // arranged as a 2-D (NPX x NPY) or 3-D grid so that each local grid section
 // has well-defined neighbor processes for boundary exchange (paper Fig 8).
+//
+// Thread-safety: topologies are immutable value types after construction —
+// safe to share by const reference across all ranks (the apps pass one
+// CartGrid to every rank's body). No method blocks or communicates.
 #pragma once
 
 #include <array>

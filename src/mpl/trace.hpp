@@ -14,6 +14,11 @@
 // that property. Per-sender byte counters expose load imbalance: a
 // root-bottlenecked collective shows up as one rank sending O(p · n) while
 // the others send nothing.
+//
+// Thread-safety: CommTrace is shared by all ranks of a World; every counter
+// is a relaxed atomic, so count_* calls are thread-safe, wait-free and
+// never block. snapshot() is a non-atomic read of the counters (exact once
+// the ranks have joined); TraceSnapshot is an immutable value type.
 #pragma once
 
 #include <array>

@@ -4,6 +4,12 @@
 // a barrier, and the communication tracer. A World corresponds to what the
 // paper calls the code skeleton's responsibility to "create and connect the N
 // processes".
+//
+// Thread-safety and ownership: one World is shared by all rank threads of a
+// run and owns their mailboxes; it must outlive every Process bound to it
+// (spmd_run guarantees this by joining before destruction). mailbox(),
+// barrier(), trace() and abort() are safe from any rank thread; abort() is
+// idempotent and never blocks.
 #pragma once
 
 #include <atomic>

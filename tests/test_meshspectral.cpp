@@ -158,11 +158,13 @@ TEST_P(ExchangeP, ExchangeMessageCountMatchesTopology) {
         return 0;
       },
       &trace);
-  // Each interior edge of the process grid carries exactly 2 messages (one
-  // each way): x edges: (npx-1)*npy pairs; y edges: npx*(npy-1) pairs.
-  const auto edges = static_cast<std::uint64_t>((pg.npx() - 1) * pg.npy() +
-                                                pg.npx() * (pg.npy() - 1));
-  EXPECT_EQ(trace.messages, 2 * edges);
+  // One-round plan exchange: every adjacent pair of ranks — orthogonal
+  // (x edges: (npx-1)*npy; y edges: npx*(npy-1)) and diagonal
+  // (2*(npx-1)*(npy-1)) — carries exactly 2 messages (one each way).
+  const auto pairs = static_cast<std::uint64_t>(
+      (pg.npx() - 1) * pg.npy() + pg.npx() * (pg.npy() - 1) +
+      2 * (pg.npx() - 1) * (pg.npy() - 1));
+  EXPECT_EQ(trace.messages, 2 * pairs);
 }
 
 TEST_P(ExchangeP, MixedPeriodicityWrapsOnlyOneAxis) {
