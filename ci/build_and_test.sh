@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 verify (configure + build + ctest), the examples as
 # smoke tests (each prints a SELF-CHECK line and exits nonzero on failure),
-# and the substrate + mesh microbenchmarks in smoke configuration. The build
-# itself enforces -Wall -Wextra -Werror on src/meshspectral/ via the
-# meshspectral_warning_check canary target. Run from the repo root:
+# and the substrate + mesh + task-runtime microbenchmarks in smoke
+# configuration. The build itself enforces -Wall -Wextra -Werror on
+# src/meshspectral/ and src/core/ via the *_warning_check canary targets.
+# Run from the repo root:
 #
 #   ci/build_and_test.sh [build-dir]
 #
@@ -34,12 +35,19 @@ echo "==> substrate microbenchmarks (smoke)"
 echo "==> mesh halo-exchange ablation (smoke)"
 (cd "$BUILD_DIR" && PPA_BENCH_SMOKE=1 ./ablation_mesh)
 
+echo "==> task-runtime ablation (smoke)"
+(cd "$BUILD_DIR" && PPA_BENCH_SMOKE=1 ./ablation_taskdc)
+
 test -s "$BUILD_DIR/BENCH_substrate.json" || {
   echo "missing $BUILD_DIR/BENCH_substrate.json" >&2
   exit 1
 }
 test -s "$BUILD_DIR/BENCH_mesh.json" || {
   echo "missing $BUILD_DIR/BENCH_mesh.json" >&2
+  exit 1
+}
+test -s "$BUILD_DIR/BENCH_taskdc.json" || {
+  echo "missing $BUILD_DIR/BENCH_taskdc.json" >&2
   exit 1
 }
 

@@ -1,0 +1,94 @@
+// ci/core_warning_check.cpp
+//
+// Warning canary for the archetype core: this translation unit includes
+// every public core header (task runtime, parfor, both divide-and-conquer
+// drivers, the one-deep skeleton, branch and bound) and instantiates the
+// templates with representative types, and is compiled with
+// -Wall -Wextra -Werror (see CMakeLists.txt). Any warning introduced in
+// src/core/ fails the build here even if no test or app happens to
+// instantiate the offending code path.
+#include <numeric>
+#include <vector>
+
+#include "core/core.hpp"
+
+namespace ppa {
+
+namespace {
+
+struct CanaryOneDeepSpec {
+  using value_type = int;
+  using merge_sample_type = int;
+  using merge_param_type = int;
+  void local_solve(std::vector<int>&) const {}
+  [[nodiscard]] std::vector<int> merge_sample(const std::vector<int>&) const {
+    return {};
+  }
+  [[nodiscard]] std::vector<int> merge_params(const std::vector<int>&, int) const {
+    return {};
+  }
+  [[nodiscard]] std::vector<std::vector<int>> repartition(std::vector<int>,
+                                                          const std::vector<int>&,
+                                                          int nparts) const {
+    return std::vector<std::vector<int>>(static_cast<std::size_t>(nparts));
+  }
+  [[nodiscard]] std::vector<int> local_merge(std::vector<std::vector<int>>) const {
+    return {};
+  }
+};
+static_assert(onedeep::Spec<CanaryOneDeepSpec>);
+
+struct CanaryBnbSpec {
+  struct Node {
+    int depth = 0;
+  };
+  using node_type = Node;
+  [[nodiscard]] double bound(const Node&) const { return 0.0; }
+  [[nodiscard]] bool is_leaf(const Node& n) const { return n.depth >= 1; }
+  [[nodiscard]] double leaf_value(const Node&) const { return 0.0; }
+  [[nodiscard]] std::vector<Node> branch(const Node& n) const {
+    return {Node{n.depth + 1}};
+  }
+};
+static_assert(bnb::Spec<CanaryBnbSpec>);
+
+/// Force-instantiate the core templates (never executed).
+[[maybe_unused]] void instantiate_all(mpl::Process& p) {
+  parfor(4, seq, [](std::size_t) {});
+  parfor(4, par(2), [](std::size_t) {});
+  parfor(4, par_hw(), [](std::size_t) {});
+
+  task::TaskGroup group;
+  group.run([] {});
+  group.wait();
+  (void)task::default_fork_depth();
+
+  const auto is_base = [](const std::vector<long>& v) { return v.size() <= 1; };
+  const auto base = [](std::vector<long> v) {
+    return std::accumulate(v.begin(), v.end(), 0L);
+  };
+  const auto split = [](std::vector<long> v) {
+    std::vector<std::vector<long>> subs(2);
+    subs[0] = std::move(v);
+    return subs;
+  };
+  const auto merge = [](std::vector<long> sols) { return sols[0] + sols[1]; };
+  (void)dc::divide_and_conquer<std::vector<long>, long>(
+      {}, is_base, base, split, merge, 2);
+  (void)dc::divide_and_conquer_async<std::vector<long>, long>(
+      {}, is_base, base, split, merge, 2);
+  (void)dc::fork_depth_for(8);
+
+  CanaryOneDeepSpec od;
+  (void)onedeep::run_sequential(od, onedeep::block_distribute(std::vector<int>{1}, 1));
+  (void)onedeep::run_process(od, p, std::vector<int>{1});
+
+  CanaryBnbSpec bb;
+  (void)bnb::solve_sequential(bb, CanaryBnbSpec::Node{});
+  (void)bnb::solve_tasks(bb, CanaryBnbSpec::Node{}, 2);
+  bnb::ProcessStats stats;
+  (void)bnb::solve_process(bb, p, CanaryBnbSpec::Node{}, 8, 2, &stats);
+}
+
+}  // namespace
+}  // namespace ppa

@@ -104,12 +104,22 @@ int main() {
               "sequential domain' guarantee for deterministic programs)\n",
               sort_ok ? "yes" : "NO (bug!)");
 
+  // --- the task runtime: traditional D&C on the work-stealing pool -----------
+  // The paper's Fig 1 recursion, forked as pool tasks instead of processes;
+  // merge order is fixed by the split, so the result equals version 1.
+  Timer t_pool;
+  const auto v3 = app::traditional_mergesort(data, kProcs);
+  const bool task_ok = v3 == v1;
+  std::printf("traditional D&C on the work-stealing pool == version 1: %s "
+              "(%.3f s)\n",
+              task_ok ? "yes" : "NO (bug!)", t_pool.seconds());
+
   // --- the mesh archetype's split-phase exchange -----------------------------
   const bool mesh_ok = mesh_split_phase_demo();
   std::printf("mesh split-phase sweep == sequential sweep: %s\n",
               mesh_ok ? "yes" : "NO (bug!)");
 
-  const bool ok = sort_ok && mesh_ok;
+  const bool ok = sort_ok && task_ok && mesh_ok;
   std::printf("SELF-CHECK: quickstart %s\n", ok ? "ok" : "FAILED");
   return ok ? 0 : 1;
 }

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "core/task.hpp"
+
 namespace ppa::algo {
 
 double dist(const Point2& p, const Point2& q) {
@@ -25,16 +27,10 @@ PairResult closest_pair_brute(std::span<const Point2> points) {
 
 namespace {
 
-/// Recursive helper over points sorted by x; `by_y` is scratch space.
-PairResult solve(std::span<Point2> by_x) {
-  if (by_x.size() <= 3) return closest_pair_brute(by_x);
-  const std::size_t mid = by_x.size() / 2;
-  const double xmid = by_x[mid].x;
-  PairResult left = solve(by_x.subspan(0, mid));
-  const PairResult right = solve(by_x.subspan(mid));
-  PairResult best = left.distance <= right.distance ? left : right;
-
-  // Strip of width 2*best.distance around the dividing line, scanned in y.
+/// Combine step shared by the sequential and forked recursions: scan the
+/// strip of width 2*best.distance around the dividing line in y order.
+PairResult combine_strip(std::span<const Point2> by_x, double xmid,
+                         PairResult best) {
   std::vector<Point2> strip;
   for (const auto& p : by_x) {
     if (std::abs(p.x - xmid) < best.distance) strip.push_back(p);
@@ -51,6 +47,35 @@ PairResult solve(std::span<Point2> by_x) {
   return best;
 }
 
+/// Recursive helper over points sorted by x.
+PairResult solve(std::span<Point2> by_x) {
+  if (by_x.size() <= 3) return closest_pair_brute(by_x);
+  const std::size_t mid = by_x.size() / 2;
+  const double xmid = by_x[mid].x;
+  const PairResult left = solve(by_x.subspan(0, mid));
+  const PairResult right = solve(by_x.subspan(mid));
+  return combine_strip(by_x, xmid,
+                       left.distance <= right.distance ? left : right);
+}
+
+/// Forked mirror of solve(): same splits, same tie-breaks, left subtree on
+/// the pool. Sibling subspans are disjoint and read-only across tasks.
+PairResult solve_forked(std::span<Point2> by_x, int depth) {
+  constexpr std::size_t kSequentialBelow = 256;
+  if (depth <= 0 || by_x.size() <= kSequentialBelow) return solve(by_x);
+  const std::size_t mid = by_x.size() / 2;
+  const double xmid = by_x[mid].x;
+  PairResult left;
+  task::TaskGroup group;
+  group.run([&left, by_x, mid, depth] {
+    left = solve_forked(by_x.subspan(0, mid), depth - 1);
+  });
+  const PairResult right = solve_forked(by_x.subspan(mid), depth - 1);
+  group.wait();
+  return combine_strip(by_x, xmid,
+                       left.distance <= right.distance ? left : right);
+}
+
 }  // namespace
 
 PairResult closest_pair(std::span<const Point2> points) {
@@ -58,6 +83,14 @@ PairResult closest_pair(std::span<const Point2> points) {
   std::vector<Point2> by_x(points.begin(), points.end());
   std::sort(by_x.begin(), by_x.end());
   return solve(std::span<Point2>(by_x));
+}
+
+PairResult closest_pair_task(std::span<const Point2> points, int parallel_depth) {
+  assert(points.size() >= 2);
+  std::vector<Point2> by_x(points.begin(), points.end());
+  std::sort(by_x.begin(), by_x.end());
+  if (parallel_depth < 0) parallel_depth = task::default_fork_depth();
+  return solve_forked(std::span<Point2>(by_x), parallel_depth);
 }
 
 PairResult closest_cross_pair(std::span<const Point2> left,

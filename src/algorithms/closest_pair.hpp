@@ -28,6 +28,14 @@ struct PairResult {
 /// O(n log n) divide and conquer; requires at least 2 points.
 [[nodiscard]] PairResult closest_pair(std::span<const Point2> points);
 
+/// The same divide and conquer with the top `parallel_depth` recursion
+/// levels forked onto the work-stealing task runtime (core/task.hpp).
+/// The recursion tree, tie-breaks, and strip scans are identical to
+/// closest_pair, so the returned pair is too. `parallel_depth < 0` sizes
+/// the fork depth from the pool width. Requires at least 2 points.
+[[nodiscard]] PairResult closest_pair_task(std::span<const Point2> points,
+                                           int parallel_depth = -1);
+
 /// Closest pair where one point is drawn from `left` and the other from
 /// `right`, given that every point of `left` has x <= x0 and every point of
 /// `right` has x >= x0, and that no within-set pair is closer than `upper`.

@@ -58,17 +58,43 @@ std::vector<Complex> dft_reference(std::span<const Complex> xs) {
   return out;
 }
 
+void fft_rows(Array2D<Complex>& a, ParPolicy policy, bool inverse) {
+  parfor(a.rows(), policy,
+         [&a, inverse](std::size_t i) { fft(a.row(i), inverse); });
+}
+
+void fft_cols(Array2D<Complex>& a, ParPolicy policy, bool inverse) {
+  // Chunk the columns explicitly so the gather/scatter scratch is one
+  // allocation per chunk, not one per column.
+  const std::size_t ncols = a.cols();
+  const auto width =
+      static_cast<std::size_t>(policy.workers < 1 ? 1 : policy.workers);
+  const std::size_t nchunks =
+      std::max<std::size_t>(1, std::min(ncols, width * kParforChunksPerWorker));
+  parfor(nchunks, policy, [&a, inverse, ncols, nchunks](std::size_t c) {
+    const Range r = block_range(ncols, nchunks, c);
+    std::vector<Complex> col(a.rows());
+    for (std::size_t j = r.lo; j < r.hi; ++j) {
+      for (std::size_t i = 0; i < a.rows(); ++i) col[i] = a(i, j);
+      fft(std::span<Complex>(col), inverse);
+      for (std::size_t i = 0; i < a.rows(); ++i) a(i, j) = col[i];
+    }
+  });
+}
+
+void fft_2d(Array2D<Complex>& a, ParPolicy policy, bool inverse) {
+  fft_rows(a, policy, inverse);
+  fft_cols(a, policy, inverse);
+}
+
+// The sequential passes delegate to the width-1 policy (parfor's par(1)
+// path is exactly the plain loop), so each pass has a single body.
 void fft_rows(Array2D<Complex>& a, bool inverse) {
-  for (std::size_t i = 0; i < a.rows(); ++i) fft(a.row(i), inverse);
+  fft_rows(a, ParPolicy{1}, inverse);
 }
 
 void fft_cols(Array2D<Complex>& a, bool inverse) {
-  std::vector<Complex> col(a.rows());
-  for (std::size_t j = 0; j < a.cols(); ++j) {
-    for (std::size_t i = 0; i < a.rows(); ++i) col[i] = a(i, j);
-    fft(std::span<Complex>(col), inverse);
-    for (std::size_t i = 0; i < a.rows(); ++i) a(i, j) = col[i];
-  }
+  fft_cols(a, ParPolicy{1}, inverse);
 }
 
 void fft_2d(Array2D<Complex>& a, bool inverse) {

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "core/parfor.hpp"
 #include "support/ndarray.hpp"
 
 namespace ppa::algo {
@@ -41,5 +42,13 @@ void fft_cols(Array2D<Complex>& a, bool inverse = false);
 /// algorithm: "performing a one-dimensional FFT on each row ... and then ...
 /// on each column of the resulting array").
 void fft_2d(Array2D<Complex>& a, bool inverse = false);
+
+/// The same row/column/2-D passes with the independent 1-D transforms run
+/// as parfor chunks on the work-stealing pool — bitwise-identical results
+/// to the sequential passes (each 1-D transform is untouched; only the
+/// loop over rows/columns is parallel).
+void fft_rows(Array2D<Complex>& a, ParPolicy policy, bool inverse = false);
+void fft_cols(Array2D<Complex>& a, ParPolicy policy, bool inverse = false);
+void fft_2d(Array2D<Complex>& a, ParPolicy policy, bool inverse = false);
 
 }  // namespace ppa::algo

@@ -2,17 +2,22 @@
 
 #include <algorithm>
 
+#include "core/task.hpp"
+#include "support/partition.hpp"
+
 namespace ppa::algo {
 
 double cross(const Point2& o, const Point2& a, const Point2& b) {
   return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
 }
 
-std::vector<Point2> convex_hull(std::vector<Point2> points) {
-  std::sort(points.begin(), points.end());
-  points.erase(std::unique(points.begin(), points.end()), points.end());
+namespace {
+
+/// Andrew's monotone chain over points already sorted lexicographically
+/// with duplicates removed.
+std::vector<Point2> hull_of_sorted(std::span<const Point2> points) {
   const std::size_t n = points.size();
-  if (n <= 2) return points;
+  if (n <= 2) return {points.begin(), points.end()};
 
   std::vector<Point2> hull(2 * n);
   std::size_t k = 0;
@@ -30,6 +35,48 @@ std::vector<Point2> convex_hull(std::vector<Point2> points) {
   hull.resize(k - 1);  // last point equals the first
   if (hull.size() < 3) hull.resize(std::min<std::size_t>(hull.size(), 2));
   return hull;
+}
+
+}  // namespace
+
+std::vector<Point2> convex_hull(std::vector<Point2> points) {
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  return hull_of_sorted(points);
+}
+
+std::vector<Point2> convex_hull_task(std::vector<Point2> points, int blocks) {
+  constexpr std::size_t kMinPointsPerBlock = 64;
+  if (blocks <= 0) {
+    blocks = 4 * (task::ThreadPool::instance().workers() + 1);
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  // Block count from the deduplicated size, so duplicate-heavy inputs keep
+  // the per-block floor instead of spawning near-empty tasks.
+  const std::size_t nblocks = std::min(static_cast<std::size_t>(blocks),
+                                       points.size() / kMinPointsPerBlock);
+  if (nblocks <= 1) return convex_hull(std::move(points));
+
+  // Per-block hulls as pool tasks over the sorted storage (no copies, no
+  // re-sort: blocks of a sorted deduped vector are sorted and deduped);
+  // the calling thread takes block 0.
+  std::vector<std::vector<Point2>> hulls(nblocks);
+  const std::span<const Point2> all(points);
+  task::TaskGroup group;
+  for (std::size_t b = 1; b < nblocks; ++b) {
+    const Range r = block_range(points.size(), nblocks, b);
+    group.run([&hulls, all, r, b] {
+      hulls[b] = hull_of_sorted(all.subspan(r.lo, r.size()));
+    });
+  }
+  const Range r0 = block_range(points.size(), nblocks, 0);
+  hulls[0] = hull_of_sorted(all.subspan(r0.lo, r0.size()));
+  group.wait();
+
+  std::vector<Point2> survivors;
+  for (const auto& h : hulls) survivors.insert(survivors.end(), h.begin(), h.end());
+  return convex_hull(std::move(survivors));
 }
 
 bool point_in_hull(std::span<const Point2> hull, const Point2& q, double eps) {

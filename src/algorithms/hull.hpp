@@ -27,6 +27,15 @@ struct Point2 {
 /// degenerate (all-collinear) inputs.
 [[nodiscard]] std::vector<Point2> convex_hull(std::vector<Point2> points);
 
+/// Convex hull computed block-parallel on the work-stealing task runtime
+/// (core/task.hpp): the sorted points are cut into contiguous blocks, each
+/// block's hull becomes a pool task, and the hull of the union of the
+/// (small) block hulls is returned. Every global hull vertex is extreme
+/// within its block, so the result is identical to convex_hull for every
+/// input. `blocks <= 0` sizes the block count from the pool width.
+[[nodiscard]] std::vector<Point2> convex_hull_task(std::vector<Point2> points,
+                                                   int blocks = 0);
+
 /// Is q inside (or on the boundary of) the convex polygon `hull` (CCW)?
 [[nodiscard]] bool point_in_hull(std::span<const Point2> hull, const Point2& q,
                                  double eps = 1e-9);

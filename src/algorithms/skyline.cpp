@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/task.hpp"
+
 namespace ppa::algo {
 
 namespace {
@@ -61,6 +63,33 @@ Skyline skyline_divide_and_conquer(std::span<const Building> buildings) {
   const std::size_t mid = buildings.size() / 2;
   return merge_skylines(skyline_divide_and_conquer(buildings.subspan(0, mid)),
                         skyline_divide_and_conquer(buildings.subspan(mid)));
+}
+
+namespace {
+
+/// Forked mirror of skyline_divide_and_conquer: same mid split, same merge
+/// order, with the left subtree forked as a pool task.
+Skyline skyline_forked(std::span<const Building> buildings, int depth) {
+  constexpr std::size_t kSequentialBelow = 32;
+  if (depth <= 0 || buildings.size() <= kSequentialBelow) {
+    return skyline_divide_and_conquer(buildings);
+  }
+  const std::size_t mid = buildings.size() / 2;
+  Skyline left;
+  task::TaskGroup group;
+  group.run([&left, buildings, mid, depth] {
+    left = skyline_forked(buildings.subspan(0, mid), depth - 1);
+  });
+  const Skyline right = skyline_forked(buildings.subspan(mid), depth - 1);
+  group.wait();
+  return merge_skylines(left, right);
+}
+
+}  // namespace
+
+Skyline skyline_task(std::span<const Building> buildings, int parallel_depth) {
+  if (parallel_depth < 0) parallel_depth = task::default_fork_depth();
+  return skyline_forked(buildings, parallel_depth);
 }
 
 double skyline_height_at(const Skyline& s, double x) {

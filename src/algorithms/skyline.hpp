@@ -42,6 +42,14 @@ using Skyline = std::vector<SkyPoint>;
 /// Sequential divide-and-conquer skyline of a set of buildings.
 [[nodiscard]] Skyline skyline_divide_and_conquer(std::span<const Building> buildings);
 
+/// Divide-and-conquer skyline with the top `parallel_depth` recursion levels
+/// forked onto the work-stealing task runtime (core/task.hpp); below that
+/// the sequential algorithm runs. The recursion tree and merge order are
+/// identical to skyline_divide_and_conquer, so the output is too.
+/// `parallel_depth < 0` sizes the fork depth from the pool width.
+[[nodiscard]] Skyline skyline_task(std::span<const Building> buildings,
+                                   int parallel_depth = -1);
+
 /// Height of skyline `s` at abscissa x (0 outside the skyline's extent).
 [[nodiscard]] double skyline_height_at(const Skyline& s, double x);
 

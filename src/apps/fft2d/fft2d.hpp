@@ -28,7 +28,9 @@ namespace ppa::app {
 using algo::Complex;
 
 /// Version 1: whole-grid 2-D FFT with a row pass then a column pass, using
-/// the parfor construct under the given execution policy.
+/// the parfor construct under the given execution policy. Under ppa::par
+/// the row/column transforms run as chunks on the work-stealing pool
+/// (core/task.hpp) — identical results to ppa::seq either way.
 template <typename Policy>
 void fft2d_v1(Array2D<Complex>& a, Policy policy, bool inverse = false) {
   parfor(a.rows(), policy, [&a, inverse](std::size_t i) {

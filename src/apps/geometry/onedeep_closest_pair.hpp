@@ -137,4 +137,14 @@ static_assert(onedeep::HasSplitPhase<SlabSplit>);
   return results.front();
 }
 
+/// Shared-memory driver on the work-stealing runtime: the sequential
+/// algorithm's recursion forked on the pool (algo::closest_pair_task).
+/// Returns the same distance as the SPMD and sequential drivers.
+[[nodiscard]] inline double closest_pair_tasks(
+    const std::vector<algo::Point2>& points, int parallel_depth = -1) {
+  return algo::closest_pair_task(std::span<const algo::Point2>(points),
+                                 parallel_depth)
+      .distance;
+}
+
 }  // namespace ppa::app

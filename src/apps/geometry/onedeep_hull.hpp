@@ -72,4 +72,13 @@ static_assert(mpl::Wire<algo::Point2>);
   return algo::convex_hull(std::move(gathered));
 }
 
+/// Shared-memory form on the work-stealing runtime: the same
+/// local-hulls-then-hull-of-union dataflow, with the local hulls as pool
+/// tasks instead of SPMD ranks (algo::convex_hull_task). Identical result
+/// to onedeep_hull / onedeep_hull_sequential.
+[[nodiscard]] inline std::vector<algo::Point2> hull_tasks(
+    const std::vector<algo::Point2>& points, int nblocks = 0) {
+  return algo::convex_hull_task(points, nblocks);
+}
+
 }  // namespace ppa::app

@@ -99,6 +99,16 @@ static_assert(bnb::Spec<KnapsackSpec>);
   return results.front();  // identical on all ranks
 }
 
+/// Exact maximum value on the shared-memory work-stealing driver
+/// (bnb::solve_tasks): `workers` cooperating workers with per-worker node
+/// pools, stealing, and an atomic incumbent. `workers <= 0` sizes from the
+/// pool. The optimum is identical to the sequential driver's.
+[[nodiscard]] inline double knapsack_tasks(const KnapsackProblem& prob,
+                                           int workers = 0) {
+  KnapsackSpec spec(prob);
+  return -bnb::solve_tasks(spec, KnapsackSpec::Node{}, workers);
+}
+
 /// O(n * capacity) dynamic-programming oracle for integer weights (testing).
 [[nodiscard]] inline double knapsack_dp_oracle(
     const std::vector<std::pair<int, double>>& items, int capacity) {

@@ -142,6 +142,16 @@ static_assert(!onedeep::HasSplitPhase<OneDeepSkyline>);
   return buildings_to_skyline(onedeep::gather_blocks(std::move(results)));
 }
 
+/// Shared-memory driver on the work-stealing runtime: the sequential
+/// divide and conquer with its top recursion levels forked on the pool
+/// (algo::skyline_task) — identical output to skyline_divide_and_conquer
+/// and therefore to the SPMD driver.
+[[nodiscard]] inline algo::Skyline skyline_tasks(
+    const std::vector<algo::Building>& buildings, int parallel_depth = -1) {
+  return algo::skyline_task(std::span<const algo::Building>(buildings),
+                            parallel_depth);
+}
+
 /// Sequentially executed version-1 form (identical result).
 [[nodiscard]] inline algo::Skyline onedeep_skyline_sequential(
     const std::vector<algo::Building>& buildings, int nprocs) {

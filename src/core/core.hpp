@@ -1,8 +1,11 @@
-// ppa/core/core.hpp — umbrella header for the archetype core: execution
-// policies and parfor, the one-deep divide-and-conquer skeleton, and the
-// traditional divide-and-conquer baseline.
+// ppa/core/core.hpp — umbrella header for the archetype core: the
+// work-stealing task runtime, execution policies and parfor, the one-deep
+// divide-and-conquer skeleton, the traditional divide-and-conquer drivers,
+// and the branch-and-bound archetype.
 #pragma once
 
-#include "core/onedeep.hpp"         // IWYU pragma: export
-#include "core/parfor.hpp"          // IWYU pragma: export
-#include "core/traditional_dc.hpp"  // IWYU pragma: export
+#include "core/branch_and_bound.hpp"  // IWYU pragma: export
+#include "core/onedeep.hpp"           // IWYU pragma: export
+#include "core/parfor.hpp"            // IWYU pragma: export
+#include "core/task.hpp"              // IWYU pragma: export
+#include "core/traditional_dc.hpp"    // IWYU pragma: export

@@ -9,12 +9,26 @@
 //
 //   ppa::parfor(n, ppa::seq,    [&](std::size_t i) { ... });
 //   ppa::parfor(n, ppa::par(4), [&](std::size_t i) { ... });
+//
+// The parallel flavour runs on the process-wide work-stealing pool
+// (core/task.hpp): the iteration space is cut into more chunks than workers
+// and idle workers steal chunks, so imbalanced bodies (iterations of very
+// different cost) still load-balance. The calling thread executes chunks
+// too — parfor never blocks a thread doing nothing.
+//
+// Exception contract: if a body throws, the first exception is rethrown
+// from parfor after all chunks have finished — the same observable behavior
+// as the sequential flavour (modulo which iteration's exception wins when
+// several throw). Iterations after a throwing one in *other* chunks may
+// still run; iterations after it in the same chunk do not.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <thread>
-#include <vector>
+#include <utility>
 
+#include "core/task.hpp"
 #include "support/partition.hpp"
 
 namespace ppa {
@@ -23,7 +37,9 @@ namespace ppa {
 struct SeqPolicy {};
 inline constexpr SeqPolicy seq{};
 
-/// Parallel execution policy with an explicit worker count.
+/// Parallel execution policy. `workers` bounds the parallel width parfor
+/// asks for; execution happens on the shared work-stealing pool, so the
+/// effective width is min(workers, pool workers + the calling thread).
 struct ParPolicy {
   int workers = 1;
 };
@@ -41,25 +57,39 @@ void parfor(std::size_t n, SeqPolicy, Body&& body) {
   for (std::size_t i = 0; i < n; ++i) body(i);
 }
 
-/// parfor, parallel flavour: the iteration space is block-partitioned over
-/// `policy.workers` threads. The body must not create dependences between
-/// iterations (the archetype guarantees this by construction).
+/// Chunks per unit of parallel width: finer than one chunk per worker so
+/// stealing can rebalance bodies whose iteration costs differ.
+inline constexpr std::size_t kParforChunksPerWorker = 4;
+
+/// parfor, parallel flavour: chunks of the iteration space become tasks on
+/// the shared pool. The body must not create dependences between iterations
+/// (the archetype guarantees this by construction).
 template <typename Body>
 void parfor(std::size_t n, ParPolicy policy, Body&& body) {
-  const auto workers = static_cast<std::size_t>(policy.workers < 1 ? 1 : policy.workers);
+  const auto workers =
+      static_cast<std::size_t>(policy.workers < 1 ? 1 : policy.workers);
   if (workers == 1 || n <= 1) {
     parfor(n, seq, std::forward<Body>(body));
     return;
   }
-  std::vector<std::jthread> threads;
-  threads.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    const Range r = block_range(n, workers, w);
+  auto& pool = task::ThreadPool::instance();
+  const std::size_t width =
+      std::min(workers, static_cast<std::size_t>(pool.workers()) + 1);
+  // width >= 2 here (workers >= 2 and the pool has >= 1 worker), so there
+  // are always at least two chunks.
+  const std::size_t chunks = std::min(n, width * kParforChunksPerWorker);
+  task::TaskGroup group(pool);
+  for (std::size_t c = 1; c < chunks; ++c) {
+    const Range r = block_range(n, chunks, c);
     if (r.size() == 0) continue;
-    threads.emplace_back([r, &body] {
+    group.run([r, &body] {
       for (std::size_t i = r.lo; i < r.hi; ++i) body(i);
     });
   }
+  // The calling thread takes the first chunk, then helps with the rest.
+  const Range r0 = block_range(n, chunks, 0);
+  for (std::size_t i = r0.lo; i < r0.hi; ++i) body(i);
+  group.wait();  // joins; rethrows the first body exception
 }
 
 }  // namespace ppa

@@ -1,0 +1,244 @@
+// ppa/core/task.hpp
+//
+// A process-wide work-stealing task runtime for the task-parallel archetypes
+// (traditional divide and conquer, parfor bodies, branch and bound). The
+// paper's Fig 1 creates "a new process at every split"; on a multicore node
+// that strategy — previously std::async per fork — oversubscribes the
+// machine and serializes on thread creation. This runtime replaces it with:
+//
+//   * a fixed pool of worker threads, created once per process;
+//   * one Chase–Lev deque per worker: the owner pushes/pops at the bottom
+//     (LIFO, so recursion unfolds depth-first with hot caches) while idle
+//     workers steal from the top (FIFO, so thieves take the *oldest* —
+//     largest — subproblems), the standard dynamic load-balancing discipline
+//     for irregular fork/join work;
+//   * an injector queue for submissions from threads outside the pool
+//     (main thread, mpl rank threads);
+//   * a `TaskGroup` fork/join API: `run()` forks a task, `wait()` joins all
+//     of them. A joining thread *helps* — it executes queued tasks instead
+//     of blocking — so nested fork/join (a task forking a group and waiting
+//     on it) cannot deadlock even on a one-worker pool.
+//
+// Exception contract: the first exception thrown by a forked task is
+// captured and rethrown from `wait()`; remaining tasks of the group still
+// run to completion. This matches the sequential semantics of the constructs
+// built on top (a throwing parfor body propagates out of the parfor call).
+//
+// Determinism contract: the runtime schedules tasks nondeterministically,
+// so constructs built on it are deterministic only if their tasks are
+// independent (parfor's precondition) or their combination step is order-
+// fixed (divide_and_conquer merges in split order; branch and bound's
+// optimum is unique). All drivers in this repository produce results
+// identical to their sequential modes.
+//
+// Thread-safety: ThreadPool is fully thread-safe. A TaskGroup is owned by
+// the thread that forks and joins; `run()` and `wait()` must not be called
+// concurrently with each other, but forked tasks may themselves create and
+// join their own (nested) groups freely.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ppa::task {
+
+class TaskGroup;
+
+namespace detail {
+
+/// A heap-allocated unit of work. `execute()` runs the task and then
+/// destroys it — jobs are fire-and-forget once submitted.
+class Job {
+ public:
+  Job() = default;
+  Job(const Job&) = delete;
+  Job& operator=(const Job&) = delete;
+  virtual ~Job() = default;
+  virtual void execute() = 0;
+};
+
+/// Chase–Lev work-stealing deque of Job* (Chase & Lev, SPAA'05, with the
+/// explicit memory orderings of Lê et al., PPoPP'13). Owner-only push()/pop()
+/// at the bottom; any thread may steal() from the top. Retired ring arrays
+/// are kept alive until destruction so concurrent thieves never read freed
+/// memory (growth is rare; the waste is bounded by 2x the peak size).
+class ChaseLevDeque {
+ public:
+  ChaseLevDeque();
+  ~ChaseLevDeque();
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  /// Owner only: push a job at the bottom.
+  void push(Job* job);
+  /// Owner only: pop the most recently pushed job, or nullptr.
+  Job* pop();
+  /// Any thread: steal the oldest job, or nullptr (empty or lost race).
+  Job* steal();
+
+ private:
+  struct RingArray;
+  RingArray* grow(RingArray* a, std::int64_t top, std::int64_t bottom);
+
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  std::atomic<RingArray*> array_;
+  std::vector<std::unique_ptr<RingArray>> retired_;  // owner-only
+};
+
+}  // namespace detail
+
+/// Fixed pool of worker threads with per-worker Chase–Lev deques.
+class ThreadPool {
+ public:
+  /// `workers` <= 0 sizes the pool from PPA_TASK_WORKERS or, failing that,
+  /// std::thread::hardware_concurrency().
+  explicit ThreadPool(int workers = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The process-wide shared pool (created on first use, joined at exit).
+  static ThreadPool& instance();
+
+  [[nodiscard]] int workers() const noexcept { return nworkers_; }
+  /// Lifetime count of successful steals (instrumentation).
+  [[nodiscard]] std::uint64_t steals() const noexcept {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+  /// Submit a job: onto the calling worker's own deque when called from a
+  /// pool worker (LIFO locality), onto the injector queue otherwise.
+  /// The pool takes ownership; the job destroys itself after execution.
+  void submit(detail::Job* job);
+
+  /// Execute queued jobs until `pending` reaches zero. Used by joiners
+  /// (worker or external thread alike): instead of blocking, the caller
+  /// works off its own deque, the injector, and other workers' deques.
+  void help_until(const std::atomic<std::size_t>& pending);
+
+ private:
+  void worker_main(int id);
+  /// Acquire one job from anywhere: own deque (workers), injector, steal.
+  detail::Job* acquire(int worker_id);
+  detail::Job* pop_injector();
+  void wake_one();
+
+  int nworkers_;
+  std::vector<std::unique_ptr<detail::ChaseLevDeque>> deques_;
+  std::vector<std::thread> threads_;
+
+  std::mutex inject_mu_;
+  std::deque<detail::Job*> injector_;
+
+  /// Jobs submitted and not yet acquired; the workers' sleep condition.
+  std::atomic<std::int64_t> ready_{0};
+  std::atomic<bool> stop_{false};
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  std::atomic<int> sleepers_{0};
+  std::atomic<std::uint64_t> steals_{0};
+};
+
+/// Fork depth for binary recursions that creates roughly four leaf tasks
+/// per execution context (pool workers + the calling thread): deep enough
+/// for stealing to balance irregular subtrees, shallow enough that task
+/// overhead stays negligible.
+[[nodiscard]] int default_fork_depth();
+
+/// Fork/join scope: fork tasks with run(), join them all with wait().
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool = ThreadPool::instance()) : pool_(pool) {}
+  /// Joins outstanding tasks (exceptions from tasks are dropped if wait()
+  /// was never called — call wait() to observe them).
+  ~TaskGroup() { pool_.help_until(pending_); }
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Fork `fn` as a task of this group. The callable is moved into the
+  /// task; it must stay valid references-wise until wait() returns.
+  /// Exception-safe: if allocation or submission throws, the group's
+  /// pending count is unwound so wait() cannot hang.
+  template <typename F>
+  void run(F&& fn) {
+    auto* job = new GroupJob<std::decay_t<F>>(this, std::forward<F>(fn));
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      pool_.submit(job);
+    } catch (...) {
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      delete job;
+      throw;
+    }
+  }
+
+  /// Join: execute/help until every forked task has finished, then rethrow
+  /// the first captured task exception, if any. The group is reusable after
+  /// wait() returns.
+  void wait() {
+    pool_.help_until(pending_);
+    if (error_flag_.load(std::memory_order_acquire)) {
+      std::exception_ptr err;
+      {
+        std::lock_guard<std::mutex> lk(error_mu_);
+        err = std::exchange(error_, nullptr);
+        error_flag_.store(false, std::memory_order_release);
+      }
+      if (err) std::rethrow_exception(err);
+    }
+  }
+
+  [[nodiscard]] ThreadPool& pool() const noexcept { return pool_; }
+
+ private:
+  template <typename F>
+  class GroupJob final : public detail::Job {
+   public:
+    GroupJob(TaskGroup* group, F&& fn) : group_(group), fn_(std::move(fn)) {}
+    GroupJob(TaskGroup* group, const F& fn) : group_(group), fn_(fn) {}
+    void execute() override {
+      std::exception_ptr err;
+      try {
+        fn_();
+      } catch (...) {
+        err = std::current_exception();
+      }
+      TaskGroup* group = group_;
+      delete this;  // destroy captures before the join can return
+      group->finish_one(std::move(err));
+    }
+
+   private:
+    TaskGroup* group_;
+    F fn_;
+  };
+
+  void finish_one(std::exception_ptr err) noexcept {
+    if (err) {
+      std::lock_guard<std::mutex> lk(error_mu_);
+      if (!error_) {
+        error_ = std::move(err);
+        error_flag_.store(true, std::memory_order_release);
+      }
+    }
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  ThreadPool& pool_;
+  std::atomic<std::size_t> pending_{0};
+  std::mutex error_mu_;
+  std::exception_ptr error_;
+  std::atomic<bool> error_flag_{false};
+};
+
+}  // namespace ppa::task

@@ -7,57 +7,176 @@
 // baseline whose inefficiencies (data inspection at every split, concurrency
 // that varies over the run) motivate the one-deep variant; we keep it both as
 // that baseline (Fig 6) and as a generally useful skeleton.
+//
+// Two drivers share one recursion shape (and therefore produce identical
+// results for deterministic specs, including parallel_depth == 0):
+//
+//   divide_and_conquer        forks onto the process-wide work-stealing pool
+//                             (core/task.hpp). Forks are O(1) deque pushes;
+//                             idle workers steal the oldest (largest)
+//                             subproblems, so irregular splits load-balance.
+//   divide_and_conquer_async  the legacy thread-per-fork driver (Fig 1
+//                             taken literally), retained as the bench
+//                             baseline. Live forks are capped at the
+//                             hardware concurrency — a k-way split at depth
+//                             d no longer creates up to k^d threads.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <future>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "core/task.hpp"
+
 namespace ppa::dc {
 
-/// Recursive divide-and-conquer driver.
+namespace detail {
+
+template <typename Problem, typename Solution, typename IsBase, typename Base,
+          typename Split, typename Merge>
+Solution dc_pool(task::ThreadPool& pool, Problem problem, const IsBase& is_base,
+                 const Base& base, const Split& split, const Merge& merge,
+                 int depth) {
+  if (is_base(problem)) return base(std::move(problem));
+
+  std::vector<Problem> subproblems = split(std::move(problem));
+  std::vector<Solution> subsolutions(subproblems.size());
+
+  if (depth > 0 && subproblems.size() > 1) {
+    // Fork all but the first subproblem onto the pool; solve the first on
+    // this thread; the join helps execute forked (and stolen-back) tasks.
+    task::TaskGroup group(pool);
+    for (std::size_t i = 1; i < subproblems.size(); ++i) {
+      group.run([&pool, &is_base, &base, &split, &merge, depth, &subsolutions, i,
+                 sub = std::move(subproblems[i])]() mutable {
+        subsolutions[i] = dc_pool<Problem, Solution>(
+            pool, std::move(sub), is_base, base, split, merge, depth - 1);
+      });
+    }
+    subsolutions[0] = dc_pool<Problem, Solution>(
+        pool, std::move(subproblems[0]), is_base, base, split, merge, depth - 1);
+    group.wait();
+  } else {
+    for (std::size_t i = 0; i < subproblems.size(); ++i) {
+      subsolutions[i] = dc_pool<Problem, Solution>(
+          pool, std::move(subproblems[i]), is_base, base, split, merge, 0);
+    }
+  }
+  return merge(std::move(subsolutions));
+}
+
+/// Live std::async forks across every divide_and_conquer_async call in the
+/// process; the cap keeps a k-way, depth-d recursion from creating k^d
+/// threads.
+inline std::atomic<int>& live_async_forks() {
+  static std::atomic<int> count{0};
+  return count;
+}
+
+[[nodiscard]] inline int async_fork_cap() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 2 : static_cast<int>(hc);
+}
+
+/// Claim one fork slot if the cap allows; the caller must release it (by
+/// decrementing live_async_forks) when the forked thread finishes.
+[[nodiscard]] inline bool try_claim_async_fork() {
+  auto& live = live_async_forks();
+  int current = live.load(std::memory_order_relaxed);
+  const int cap = async_fork_cap();
+  while (current < cap) {
+    if (live.compare_exchange_weak(current, current + 1,
+                                   std::memory_order_acq_rel)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace detail
+
+/// Recursive divide-and-conquer driver on the work-stealing pool.
 ///
 ///   is_base(p)  -> bool                     problem small enough to solve directly
 ///   base(p)     -> Solution                 base-case solve
 ///   split(p)    -> std::vector<Problem>     split into >= 2 subproblems
 ///   merge(v)    -> Solution                 combine subsolutions (v in split order)
 ///
-/// `parallel_depth` levels of the recursion fork std::async tasks (so up to
+/// `parallel_depth` levels of the recursion fork tasks (so up to
 /// 2^parallel_depth concurrent leaves for binary splits — the Fig 1 process
 /// tree); below that the recursion is sequential. parallel_depth == 0 gives a
-/// fully sequential execution with identical results.
+/// fully sequential execution with identical results; any parallel_depth
+/// produces results identical to parallel_depth == 0 because subsolutions are
+/// merged in split order.
 template <typename Problem, typename Solution, typename IsBase, typename Base,
           typename Split, typename Merge>
 Solution divide_and_conquer(Problem problem, const IsBase& is_base, const Base& base,
                             const Split& split, const Merge& merge,
                             int parallel_depth = 0) {
+  return detail::dc_pool<Problem, Solution>(
+      task::ThreadPool::instance(), std::move(problem), is_base, base, split,
+      merge, parallel_depth);
+}
+
+/// Legacy thread-per-fork driver (the seed's implementation of the Fig 1
+/// process tree), retained as the measured baseline for the pool driver.
+/// Each fork that fits under the live-fork cap becomes a std::async thread;
+/// forks beyond the cap are solved inline on the forking thread instead, so
+/// the process never holds more live fork threads than hardware threads.
+template <typename Problem, typename Solution, typename IsBase, typename Base,
+          typename Split, typename Merge>
+Solution divide_and_conquer_async(Problem problem, const IsBase& is_base,
+                                  const Base& base, const Split& split,
+                                  const Merge& merge, int parallel_depth = 0) {
   if (is_base(problem)) return base(std::move(problem));
 
   std::vector<Problem> subproblems = split(std::move(problem));
   std::vector<Solution> subsolutions(subproblems.size());
 
   if (parallel_depth > 0 && subproblems.size() > 1) {
-    // Fork all but the first subproblem; solve the first on this thread.
-    std::vector<std::future<Solution>> futures;
+    // Fork what the cap allows; solve the rest (and the first) inline.
+    std::vector<std::pair<std::size_t, std::future<Solution>>> futures;
     futures.reserve(subproblems.size() - 1);
     for (std::size_t i = 1; i < subproblems.size(); ++i) {
-      futures.push_back(std::async(
-          std::launch::async,
-          [&is_base, &base, &split, &merge, parallel_depth](Problem sub) {
-            return divide_and_conquer<Problem, Solution>(
-                std::move(sub), is_base, base, split, merge, parallel_depth - 1);
-          },
-          std::move(subproblems[i])));
+      if (detail::try_claim_async_fork()) {
+        try {
+          futures.emplace_back(
+              i, std::async(
+                     std::launch::async,
+                     [&is_base, &base, &split, &merge, parallel_depth](Problem sub) {
+                       struct ReleaseSlot {
+                         ~ReleaseSlot() {
+                           detail::live_async_forks().fetch_sub(
+                               1, std::memory_order_acq_rel);
+                         }
+                       } release;
+                       return divide_and_conquer_async<Problem, Solution>(
+                           std::move(sub), is_base, base, split, merge,
+                           parallel_depth - 1);
+                     },
+                     std::move(subproblems[i])));
+        } catch (...) {
+          // Thread creation failed (the exact condition the cap guards
+          // against): release the claimed slot, then surface the error.
+          detail::live_async_forks().fetch_sub(1, std::memory_order_acq_rel);
+          throw;
+        }
+      } else {
+        subsolutions[i] = divide_and_conquer_async<Problem, Solution>(
+            std::move(subproblems[i]), is_base, base, split, merge,
+            parallel_depth - 1);
+      }
     }
-    subsolutions[0] = divide_and_conquer<Problem, Solution>(
-        std::move(subproblems[0]), is_base, base, split, merge, parallel_depth - 1);
-    for (std::size_t i = 1; i < subproblems.size(); ++i) {
-      subsolutions[i] = futures[i - 1].get();
-    }
+    subsolutions[0] = divide_and_conquer_async<Problem, Solution>(
+        std::move(subproblems[0]), is_base, base, split, merge,
+        parallel_depth - 1);
+    for (auto& [i, future] : futures) subsolutions[i] = future.get();
   } else {
     for (std::size_t i = 0; i < subproblems.size(); ++i) {
-      subsolutions[i] = divide_and_conquer<Problem, Solution>(
+      subsolutions[i] = divide_and_conquer_async<Problem, Solution>(
           std::move(subproblems[i]), is_base, base, split, merge, 0);
     }
   }

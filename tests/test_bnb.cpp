@@ -1,10 +1,16 @@
 // Tests for the branch-and-bound archetype (the paper's future-work
 // "nondeterministic archetype") and its knapsack application: exactness
 // against a DP oracle, sequential == parallel optima (the result is
-// deterministic even though the search is not), and pruning sanity.
+// deterministic even though the search is not), pruning sanity, the
+// shared-memory work-stealing driver, and the SPMD driver's combined
+// allreduce + frontier-rebalancing rounds.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -99,6 +105,165 @@ TEST(Knapsack, BoundIsAdmissible) {
   const double root_bound = spec.bound(app::KnapsackSpec::Node{});
   const double optimum = app::knapsack_dp_oracle(oracle_items, 50);
   EXPECT_LE(root_bound, -optimum + 1e-9);
+}
+
+class KnapsackTasksP : public testing::TestWithParam<int> {};
+
+TEST_P(KnapsackTasksP, SharedMemoryDriverMatchesOracleAndSequential) {
+  const int workers = GetParam();
+  for (std::uint64_t seed : {2u, 11u, 23u}) {
+    std::vector<std::pair<int, double>> oracle_items;
+    const auto prob = random_problem(22, 60, seed, &oracle_items);
+    const double expected = app::knapsack_dp_oracle(oracle_items, 60);
+    const double seq = app::knapsack_sequential(prob);
+    const double tasks = app::knapsack_tasks(prob, workers);
+    EXPECT_NEAR(tasks, expected, 1e-9) << "seed " << seed;
+    // The optimum is deterministic even though the shared-memory search
+    // order (stealing, incumbent races) is not.
+    EXPECT_DOUBLE_EQ(tasks, seq) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, KnapsackTasksP, testing::Values(1, 2, 4, 8),
+                         [](const testing::TestParamInfo<int>& info) {
+                           std::string name = "W";
+                           name += std::to_string(info.param);
+                           return name;
+                         });
+
+TEST(KnapsackTasks, LargerInstanceStillExact) {
+  std::vector<std::pair<int, double>> oracle_items;
+  const auto prob = random_problem(40, 120, 42, &oracle_items);
+  const double expected = app::knapsack_dp_oracle(oracle_items, 120);
+  EXPECT_NEAR(app::knapsack_tasks(prob, 4), expected, 1e-9);
+}
+
+TEST(KnapsackTasks, TrivialInstances) {
+  KnapsackProblem empty;
+  empty.capacity = 10.0;
+  EXPECT_DOUBLE_EQ(app::knapsack_tasks(empty, 4), 0.0);
+  KnapsackProblem heavy;
+  heavy.capacity = 1.0;
+  heavy.items = {{5.0, 100.0}, {7.0, 200.0}};
+  EXPECT_DOUBLE_EQ(app::knapsack_tasks(heavy, 4), 0.0);
+}
+
+// A synthetic minimization tree engineered to skew the SPMD decomposition:
+// the root fans out into `fanout` children; child 0 roots a full binary
+// subtree of depth `deep_depth` (the optimum, -3, hides at its leftmost
+// leaf, and depth-first expansion reaches it last), every other child is a
+// two-node stub that drains in one round. Block-cyclic seeding therefore
+// hands all the real work to the rank that receives child 0, leaving the
+// other ranks' pools empty after the first round — the exact situation the
+// rebalancing rounds exist for.
+struct SkewSpec {
+  struct Node {
+    std::uint64_t path = 0;
+    std::int32_t depth = 0;
+    std::int32_t kind = 0;  // 0 root, 1 stub, 2 deep, 3 stub leaf
+  };
+  using node_type = Node;
+  int fanout = 16;
+  int deep_depth = 12;
+
+  [[nodiscard]] bool is_leaf(const Node& n) const {
+    return n.kind == 3 || (n.kind == 2 && n.depth == deep_depth);
+  }
+  [[nodiscard]] double leaf_value(const Node& n) const {
+    if (n.kind == 3) return 0.0;
+    return n.path == 0 ? -3.0 : -1.0;
+  }
+  [[nodiscard]] double bound(const Node& n) const {
+    return is_leaf(n) ? leaf_value(n) : -3.0;
+  }
+  [[nodiscard]] std::vector<Node> branch(const Node& n) const {
+    std::vector<Node> children;
+    if (n.kind == 0) {
+      children.push_back({0, 0, 2});
+      for (int i = 1; i < fanout; ++i) {
+        children.push_back({static_cast<std::uint64_t>(i), 0, 1});
+      }
+    } else if (n.kind == 1) {
+      children.push_back({n.path, 0, 3});
+    } else {
+      children.push_back({n.path * 2, n.depth + 1, 2});
+      children.push_back({n.path * 2 + 1, n.depth + 1, 2});
+    }
+    return children;
+  }
+};
+
+static_assert(bnb::Spec<SkewSpec>);
+static_assert(mpl::Wire<SkewSpec::Node>);
+
+TEST(BnbRebalance, DrainedRanksAreRefilledAndResultIsExact) {
+  constexpr int kProcs = 4;
+  SkewSpec spec;
+  const double expected = bnb::solve_sequential(spec, SkewSpec::Node{});
+  EXPECT_DOUBLE_EQ(expected, -3.0);
+
+  std::vector<bnb::ProcessStats> stats(kProcs);
+  mpl::TraceSnapshot trace;
+  const auto results = mpl::spmd_collect<double>(
+      kProcs,
+      [&](mpl::Process& p) {
+        SkewSpec local;
+        return bnb::solve_process(local, p, SkewSpec::Node{}, /*chunk=*/8,
+                                  /*seed_factor=*/4,
+                                  &stats[static_cast<std::size_t>(p.rank())]);
+      },
+      &trace);
+  for (const double r : results) EXPECT_DOUBLE_EQ(r, expected);
+
+  // The skewed decomposition must have triggered rebalancing rounds, and
+  // every rank must have executed the identical collective sequence.
+  EXPECT_GT(stats[0].rebalances, 0u);
+  for (int r = 1; r < kProcs; ++r) {
+    EXPECT_EQ(stats[static_cast<std::size_t>(r)].rounds, stats[0].rounds);
+    EXPECT_EQ(stats[static_cast<std::size_t>(r)].rebalances, stats[0].rebalances);
+  }
+
+  // The satellite's folded collective: ONE allreduce per round (not two),
+  // one allgather per rebalancing round, nothing else.
+  EXPECT_EQ(trace.op(mpl::Op::kAllreduce), stats[0].rounds * kProcs);
+  EXPECT_EQ(trace.op(mpl::Op::kAllgather), stats[0].rebalances * kProcs);
+  EXPECT_EQ(trace.op(mpl::Op::kAlltoall), 0u);
+  EXPECT_EQ(trace.op(mpl::Op::kGather), 0u);
+  EXPECT_EQ(trace.op(mpl::Op::kBarrier), 0u);
+}
+
+TEST(BnbRebalance, SolveTasksHandlesTheSkewedTreeToo) {
+  SkewSpec spec;
+  EXPECT_DOUBLE_EQ(bnb::solve_tasks(spec, SkewSpec::Node{}, 4), -3.0);
+}
+
+// A spec that throws from branch() partway into the search: solve_tasks
+// must abort (drain, not hang) and rethrow rather than spin forever on the
+// thrower's lost nodes.
+struct ThrowingSpec {
+  using node_type = SkewSpec::Node;
+  SkewSpec inner;
+  std::shared_ptr<std::atomic<int>> branches = new_counter();
+
+  static std::shared_ptr<std::atomic<int>> new_counter() {
+    return std::make_shared<std::atomic<int>>(0);
+  }
+  [[nodiscard]] bool is_leaf(const node_type& n) const { return inner.is_leaf(n); }
+  [[nodiscard]] double leaf_value(const node_type& n) const {
+    return inner.leaf_value(n);
+  }
+  [[nodiscard]] double bound(const node_type& n) const { return inner.bound(n); }
+  [[nodiscard]] std::vector<node_type> branch(const node_type& n) const {
+    if (branches->fetch_add(1) == 200) throw std::runtime_error("spec failure");
+    return inner.branch(n);
+  }
+};
+static_assert(bnb::Spec<ThrowingSpec>);
+
+TEST(BnbRebalance, SolveTasksRethrowsSpecExceptionsInsteadOfHanging) {
+  ThrowingSpec spec;
+  EXPECT_THROW((void)bnb::solve_tasks(spec, SkewSpec::Node{}, 4, /*chunk=*/8),
+               std::runtime_error);
 }
 
 TEST(Knapsack, CommunicationIsAllreduceRoundsOnly) {

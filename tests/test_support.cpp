@@ -158,6 +158,31 @@ TEST(BlockRange, MorePartsThanElements) {
   }
 }
 
+TEST(BlockRange, OwnerRoundTripWithFewerElementsThanParts) {
+  // n < parts: block_owner must send every index to the (singleton) block
+  // that block_range says holds it, for every such shape — including the
+  // n == parts - 1 edge where exactly one trailing block is empty.
+  for (std::size_t parts : {2u, 3u, 5u, 8u, 16u, 31u}) {
+    for (std::size_t n = 1; n < parts; ++n) {
+      std::size_t covered = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t owner = block_owner(n, parts, i);
+        ASSERT_LT(owner, parts) << "n=" << n << " parts=" << parts;
+        const auto r = block_range(n, parts, owner);
+        EXPECT_TRUE(r.contains(i)) << "n=" << n << " parts=" << parts
+                                   << " i=" << i << " owner=" << owner;
+        EXPECT_EQ(r.size(), 1u);
+        ++covered;
+      }
+      EXPECT_EQ(covered, n);
+      // And the empty trailing blocks really are empty.
+      for (std::size_t p = n; p < parts; ++p) {
+        EXPECT_EQ(block_range(n, parts, p).size(), 0u);
+      }
+    }
+  }
+}
+
 // -------------------------------------------------------------------- Rng --
 
 TEST(Rng, DeterministicForSeed) {
