@@ -1,0 +1,140 @@
+// Ablation bench for the streaming pipeline archetype (core/pipeline.hpp):
+// the signal-chain workload (apps/stream/signal_chain.hpp) swept over
+//
+//   batch size x queue depth x farm width,  threaded vs SPMD,
+//
+// against the sequential driver as the baseline. The A/B the design rests
+// on: batched transfer amortizes per-item queue/credit overhead (batch=1 is
+// the degenerate contrast), bounded queues cap memory while sustaining
+// throughput, and the farm width sets the parallel span of the FFT stage.
+//
+// Results are written to BENCH_pipeline.json for cross-PR comparison.
+// Correctness (every driver's feature stream identical to the sequential
+// oracle) always gates the exit code; the batching-shape verdict gates it
+// only in full mode (a 1-core CI box measures overhead, not speedup).
+// PPA_BENCH_SMOKE=1 selects a reduced configuration.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "apps/stream/signal_chain.hpp"
+#include "bench/bench_common.hpp"
+#include "bench/microbench.hpp"
+#include "mpl/spmd.hpp"
+
+int main() {
+  using namespace ppa;
+  using namespace ppa::app::stream;
+  bench::print_header("Ablation: streaming pipeline archetype",
+                      "batch size x queue depth x farm width, threaded vs "
+                      "SPMD, vs the sequential driver");
+
+  const bool smoke = microbench::smoke_mode();
+  const int reps = smoke ? 2 : 3;
+  microbench::Reporter reporter("pipeline");
+  bool results_identical = true;
+
+  SignalConfig cfg;
+  cfg.windows = smoke ? 512 : 2048;
+  const auto oracle = signal_oracle(cfg);
+  const auto items = static_cast<double>(cfg.windows);
+
+  // Sequential baseline (no queues, no threads).
+  const double t_seq = microbench::time_best_of(reps, [&] {
+    if (signal_sequential(cfg) != oracle) results_identical = false;
+  });
+  std::printf("\nsequential driver: %zu windows in %.4f s (%.0f windows/s)\n",
+              cfg.windows, t_seq, items / t_seq);
+  microbench::Result rs{"pipeline/sequential", {}};
+  rs.set("windows", items).set("seconds", t_seq).set("items_per_sec", items / t_seq);
+  reporter.add(std::move(rs));
+
+  const std::vector<std::size_t> batches =
+      smoke ? std::vector<std::size_t>{1, 16} : std::vector<std::size_t>{1, 8, 32};
+  const std::vector<std::size_t> queues =
+      smoke ? std::vector<std::size_t>{64} : std::vector<std::size_t>{32, 256};
+  const std::vector<int> widths =
+      smoke ? std::vector<int>{2} : std::vector<int>{2, 4};
+
+  std::printf("\n%7s %6s %6s %12s %14s %12s %14s\n", "batch", "queue", "width",
+              "thr (s)", "thr (win/s)", "spmd (s)", "spmd (win/s)");
+  // Batching A/B bookkeeping: compare batch=1 against the best batched
+  // configuration *within the same (width, queue) shape* — never across
+  // shapes, which would conflate farm-width scaling with batching — and
+  // geomean the per-shape ratios.
+  double log_batching_sum = 0.0;
+  int batching_shapes = 0;
+  for (const int width : widths) {
+    cfg.farm_width = width;
+    const int np = signal_ranks_required(cfg);
+    for (const std::size_t queue : queues) {
+      double shape_t1 = 0.0;          // batch=1 threaded time, this shape
+      double shape_best = 1e300;      // best batched threaded time, this shape
+      for (const std::size_t batch : batches) {
+        pipeline::Config pcfg;
+        pcfg.queue_capacity = queue;
+        pcfg.batch = batch;
+        const double t_thr = microbench::time_best_of(reps, [&] {
+          if (signal_threaded(cfg, pcfg).first != oracle) results_identical = false;
+        });
+        const double t_spmd = microbench::time_best_of(reps, [&] {
+          const auto per_rank = mpl::spmd_collect<std::vector<Feature>>(
+              np, [&](mpl::Process& p) { return signal_process(p, cfg, pcfg); });
+          if (per_rank.back() != oracle) results_identical = false;
+        });
+        std::printf("%7zu %6zu %6d %12.4f %14.0f %12.4f %14.0f\n", batch, queue,
+                    width, t_thr, items / t_thr, t_spmd, items / t_spmd);
+        microbench::Result rt{"pipeline/threaded", {}};
+        rt.set("batch", static_cast<double>(batch))
+            .set("queue", static_cast<double>(queue))
+            .set("width", width)
+            .set("windows", items)
+            .set("seconds", t_thr)
+            .set("items_per_sec", items / t_thr)
+            .set("speedup_vs_sequential", t_seq / t_thr);
+        reporter.add(std::move(rt));
+        microbench::Result rp{"pipeline/spmd", {}};
+        rp.set("batch", static_cast<double>(batch))
+            .set("queue", static_cast<double>(queue))
+            .set("width", width)
+            .set("ranks", np)
+            .set("windows", items)
+            .set("seconds", t_spmd)
+            .set("items_per_sec", items / t_spmd)
+            .set("speedup_vs_sequential", t_seq / t_spmd);
+        reporter.add(std::move(rp));
+        if (batch == 1) shape_t1 = t_thr;
+        if (batch > 1) shape_best = std::min(shape_best, t_thr);
+      }
+      if (shape_t1 > 0.0 && shape_best < 1e300) {
+        log_batching_sum += std::log(shape_t1 / shape_best);
+        ++batching_shapes;
+      }
+    }
+  }
+
+  const double batching_speedup =
+      batching_shapes > 0 ? std::exp(log_batching_sum / batching_shapes) : 1.0;
+  std::printf("\n  batched transfer speedup over batch=1 (threaded, geomean "
+              "over %d same-shape configs): %.2fx\n",
+              batching_shapes, batching_speedup);
+  microbench::Result summary{"pipeline/summary", {}};
+  summary.set("batching_speedup", batching_speedup)
+      .set("sequential_items_per_sec", items / t_seq)
+      .set("smoke", smoke ? 1.0 : 0.0);
+  reporter.add(std::move(summary));
+  reporter.write_json("BENCH_pipeline.json");
+
+  std::printf("\nShape verdicts:\n");
+  bool ok = true;
+  ok &= bench::verdict(
+      "threaded and SPMD feature streams identical to the sequential oracle "
+      "in every configuration",
+      results_identical);
+  const bool batching_ok = bench::verdict(
+      "batched transfer (batch > 1) at least matches batch=1 throughput",
+      batching_speedup >= 1.0);
+  if (!smoke) ok &= batching_ok;
+  return ok ? 0 : 1;
+}

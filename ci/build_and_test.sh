@@ -27,6 +27,7 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 echo "==> examples (smoke: each must print SELF-CHECK ... ok and exit 0)"
 (cd "$BUILD_DIR" && ./quickstart)
 (cd "$BUILD_DIR" && ./poisson_demo)
+(cd "$BUILD_DIR" && ./stream_demo)
 
 echo "==> substrate microbenchmarks (smoke)"
 (cd "$BUILD_DIR" && PPA_BENCH_SMOKE=1 ./micro_collectives)
@@ -38,6 +39,9 @@ echo "==> mesh halo-exchange ablation (smoke)"
 echo "==> task-runtime ablation (smoke)"
 (cd "$BUILD_DIR" && PPA_BENCH_SMOKE=1 ./ablation_taskdc)
 
+echo "==> streaming pipeline ablation (smoke)"
+(cd "$BUILD_DIR" && PPA_BENCH_SMOKE=1 ./ablation_pipeline)
+
 test -s "$BUILD_DIR/BENCH_substrate.json" || {
   echo "missing $BUILD_DIR/BENCH_substrate.json" >&2
   exit 1
@@ -48,6 +52,10 @@ test -s "$BUILD_DIR/BENCH_mesh.json" || {
 }
 test -s "$BUILD_DIR/BENCH_taskdc.json" || {
   echo "missing $BUILD_DIR/BENCH_taskdc.json" >&2
+  exit 1
+}
+test -s "$BUILD_DIR/BENCH_pipeline.json" || {
+  echo "missing $BUILD_DIR/BENCH_pipeline.json" >&2
   exit 1
 }
 

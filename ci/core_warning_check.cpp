@@ -2,12 +2,13 @@
 //
 // Warning canary for the archetype core: this translation unit includes
 // every public core header (task runtime, parfor, both divide-and-conquer
-// drivers, the one-deep skeleton, branch and bound) and instantiates the
-// templates with representative types, and is compiled with
-// -Wall -Wextra -Werror (see CMakeLists.txt). Any warning introduced in
-// src/core/ fails the build here even if no test or app happens to
+// drivers, the one-deep skeleton, branch and bound, the streaming pipeline)
+// and instantiates the templates with representative types, and is compiled
+// with -Wall -Wextra -Werror (see CMakeLists.txt). Any warning introduced
+// in src/core/ fails the build here even if no test or app happens to
 // instantiate the offending code path.
 #include <numeric>
+#include <optional>
 #include <vector>
 
 #include "core/core.hpp"
@@ -88,6 +89,48 @@ static_assert(bnb::Spec<CanaryBnbSpec>);
   (void)bnb::solve_tasks(bb, CanaryBnbSpec::Node{}, 2);
   bnb::ProcessStats stats;
   (void)bnb::solve_process(bb, p, CanaryBnbSpec::Node{}, 8, 2, &stats);
+
+  // Streaming pipeline: every combinator (plain and filtering stages, an
+  // ordered farm of stateless workers, an unordered farm of stateful
+  // flushing workers) through all three drivers.
+  struct CanaryFlushWorker {
+    long local = 0;
+    std::optional<long> operator()(long v) {
+      local += v;
+      return std::nullopt;
+    }
+    std::vector<long> flush() { return {local}; }
+  };
+  long total = 0;
+  long next = 0;
+  // Farm-into-farm shape: legal for the local drivers only.
+  auto plan = pipeline::source([next]() mutable -> std::optional<long> {
+                return next < 4 ? std::optional<long>(next++) : std::nullopt;
+              }) |
+              pipeline::stage([](long v) { return v + 1; }) |
+              pipeline::stage([](long v) -> std::optional<long> { return v; }) |
+              pipeline::farm(2, [] { return [](long v) { return 2 * v; }; },
+                             pipeline::ordered) |
+              pipeline::farm(2, [] { return CanaryFlushWorker{}; },
+                             pipeline::unordered) |
+              pipeline::sink([&total](long v) { total += v; });
+  (void)plan.ranks_required();
+  // Instantiation only — never executed (back-to-back runs of one plan
+  // would consume the source on the first run; see pipeline.hpp contract).
+  plan.run_sequential();
+  (void)plan.run_threaded(pipeline::Config{});
+  // SPMD-legal shape (an ordered farm feeding a farm would be rejected by
+  // run_process's layout validation): same combinators, serial successor.
+  auto spmd_plan = pipeline::source([next]() mutable -> std::optional<long> {
+                     return next < 4 ? std::optional<long>(next++) : std::nullopt;
+                   }) |
+                   pipeline::farm(2, [] { return [](long v) { return 2 * v; }; },
+                                  pipeline::ordered) |
+                   pipeline::stage([](long v) -> std::optional<long> { return v; }) |
+                   pipeline::farm(2, [] { return CanaryFlushWorker{}; },
+                                  pipeline::unordered) |
+                   pipeline::sink([&total](long v) { total += v; });
+  spmd_plan.run_process(p, pipeline::default_config());
 }
 
 }  // namespace

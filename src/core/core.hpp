@@ -1,11 +1,12 @@
 // ppa/core/core.hpp — umbrella header for the archetype core: the
 // work-stealing task runtime, execution policies and parfor, the one-deep
 // divide-and-conquer skeleton, the traditional divide-and-conquer drivers,
-// and the branch-and-bound archetype.
+// the branch-and-bound archetype, and the streaming pipeline archetype.
 #pragma once
 
 #include "core/branch_and_bound.hpp"  // IWYU pragma: export
 #include "core/onedeep.hpp"           // IWYU pragma: export
 #include "core/parfor.hpp"            // IWYU pragma: export
+#include "core/pipeline.hpp"          // IWYU pragma: export
 #include "core/task.hpp"              // IWYU pragma: export
 #include "core/traditional_dc.hpp"    // IWYU pragma: export

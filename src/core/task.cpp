@@ -237,6 +237,16 @@ void ThreadPool::worker_main(int id) {
   tl_worker = WorkerIdentity{};
 }
 
+bool ThreadPool::try_run_one() {
+  const WorkerIdentity& who = tl_worker;
+  const int my_id = (who.pool == this) ? who.id : -1;
+  if (detail::Job* job = acquire(my_id)) {
+    job->execute();
+    return true;
+  }
+  return false;
+}
+
 void ThreadPool::help_until(const std::atomic<std::size_t>& pending) {
   const WorkerIdentity& who = tl_worker;
   const int my_id = (who.pool == this) ? who.id : -1;

@@ -126,6 +126,14 @@ class ThreadPool {
   /// works off its own deque, the injector, and other workers' deques.
   void help_until(const std::atomic<std::size_t>& pending);
 
+  /// Execute at most one queued job (own deque, injector, or steal) and
+  /// return whether one ran. For threads that must wait on an external
+  /// condition (a full pipeline queue, a resource) without parking: helping
+  /// keeps the pool's queued tasks runnable even when every worker thread
+  /// is itself in such a wait, which is what makes blocking on pool threads
+  /// deadlock-free. Safe from workers and external threads alike.
+  bool try_run_one();
+
  private:
   void worker_main(int id);
   /// Acquire one job from anywhere: own deque (workers), injector, steal.

@@ -83,10 +83,17 @@ void Mailbox::for_each_lane(F&& f) const {
 }
 
 void Mailbox::push(Envelope env) {
-  env.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   Lane& lane = lane_for(env.source);
   {
+    // Stamp the arrival sequence number *inside* the lane critical section:
+    // stamping and enqueueing are then atomic with respect to receivers
+    // scanning this lane, which is what makes the wildcard stable-rescan in
+    // extract_any_source sound (a message stamped before a scan begins is
+    // guaranteed visible to that scan). Stamping outside the lock opened a
+    // window where a lower-seq message was stamped but not yet queued, so a
+    // concurrent kAnySource receive could return a later arrival first.
     const std::scoped_lock lock(lane.mutex);
+    env.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
     lane.queue.push_back(std::move(env));
     lane.pushes.fetch_add(1, std::memory_order_release);
   }
@@ -115,14 +122,11 @@ bool Mailbox::extract_from_lane(Lane& lane, int tag, Envelope& out) {
 }
 
 bool Mailbox::extract_any_source(int tag, Envelope& out) {
-  // Two-phase: find the lane holding the earliest-arrival match (locking one
-  // lane at a time), then extract from it. A concurrent targeted pop can
-  // steal the chosen lane's match between the phases; in that case another
-  // lane may still hold a match, so rescan rather than report "nothing
-  // queued" (each retry implies another consumer made progress).
-  for (;;) {
-    Lane* best = nullptr;
-    std::uint64_t best_seq = std::numeric_limits<std::uint64_t>::max();
+  // One full pass over the lanes (locking one lane at a time): the lane
+  // holding the earliest-arrival match, and that arrival's seq.
+  const auto find_best = [&](Lane*& best, std::uint64_t& best_seq) {
+    best = nullptr;
+    best_seq = std::numeric_limits<std::uint64_t>::max();
     for_each_lane([&](Lane& lane) {
       const std::scoped_lock lock(lane.mutex);
       for (const auto& env : lane.queue) {
@@ -135,9 +139,59 @@ bool Mailbox::extract_any_source(int tag, Envelope& out) {
         }
       }
     });
+  };
+  // A single pass is not enough when pushes race it: the pass may read
+  // lane A before a low-seq message lands there and lane B after a
+  // higher-seq one landed — choosing the later arrival. Because push
+  // stamps and enqueues atomically under the lane lock, two facts hold:
+  // (a) a pass sees every pending message stamped before the pass began,
+  // and (b) the global stamp counter is the complete record of stamping —
+  // if it did not move across a pass, no push raced it and the pass's
+  // candidate is the true earliest (the uncontended fast path: one scan
+  // plus two atomic loads). If the counter moved, rescan until a full
+  // pass finds nothing earlier than the current candidate: the candidate
+  // predates that stable pass, so by (a) any earlier pending message
+  // would have been seen by it. The candidate seq strictly decreases
+  // across rescans, so the loop terminates; the outer retry only fires
+  // when a concurrent consumer stole the candidate (their progress).
+  for (;;) {
+    const std::uint64_t stamped_before = next_seq_.load(std::memory_order_acquire);
+    Lane* best = nullptr;
+    std::uint64_t best_seq = 0;
+    find_best(best, best_seq);
     if (best == nullptr) return false;
-    const std::scoped_lock lock(best->mutex);
-    if (extract_from_lane(*best, tag, out)) return true;
+    if (next_seq_.load(std::memory_order_acquire) != stamped_before) {
+      bool stolen = false;
+      for (;;) {
+        Lane* again = nullptr;
+        std::uint64_t again_seq = 0;
+        find_best(again, again_seq);
+        if (again == nullptr) {
+          stolen = true;  // candidate consumed concurrently
+          break;
+        }
+        if (again_seq < best_seq) {
+          best = again;
+          best_seq = again_seq;
+          continue;
+        }
+        break;  // stable: nothing pending is earlier than the candidate
+      }
+      if (stolen) continue;
+    }
+    // Extract precisely the candidate (per-lane FIFO keeps seqs increasing
+    // within a lane, so the first tag match is the earliest).
+    {
+      const std::scoped_lock lock(best->mutex);
+      for (auto it = best->queue.begin(); it != best->queue.end(); ++it) {
+        if (tag_matches(*it, tag)) {
+          if (it->seq != best_seq) break;  // consumed; restart the search
+          out = std::move(*it);
+          best->queue.erase(it);
+          return true;
+        }
+      }
+    }
   }
 }
 

@@ -23,7 +23,11 @@
 //   - Wildcards: kAnyTag scans the lane in arrival order; kAnySource picks
 //     the globally earliest matching arrival across lanes (every envelope is
 //     stamped with an arrival sequence number), which is the strongest —
-//     and deterministic — ordering the old global deque provided.
+//     and deterministic — ordering the old global deque provided. The stamp
+//     and the enqueue are atomic per lane and the wildcard search rescans
+//     until stable, so this holds even against concurrent producers:
+//     successive kAnySource receives observe strictly increasing arrival
+//     seqs, while interleaved lane-targeted receives see per-source FIFO.
 //   - abort() releases every blocked receiver with WorldAborted.
 //
 // Thread-safety and blocking contract: a Mailbox is fully thread-safe —

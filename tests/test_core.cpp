@@ -161,12 +161,81 @@ struct SplitOnlySpec {
   }
 };
 
+// Toy spec 4: BOTH phases non-degenerate (split by pivots, sort locally,
+// reshard by splitters, k-way merge) — the full archetype dataflow, used to
+// pin parameter-strategy parity and empty-input behavior across two
+// parameter rounds and two all-to-alls.
+struct BothPhasesSpec {
+  using value_type = int;
+  using split_sample_type = int;
+  using split_param_type = int;
+  using merge_sample_type = int;
+  using merge_param_type = int;
+
+  std::vector<int> split_sample(const std::vector<int>& local) const { return local; }
+  std::vector<int> split_params(const std::vector<int>& all_samples,
+                                int nparts) const {
+    std::vector<int> sorted = all_samples;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<int> pivots;
+    for (int q = 1; q < nparts; ++q) {
+      const auto idx = block_range(sorted.size(), static_cast<std::size_t>(nparts),
+                                   static_cast<std::size_t>(q))
+                           .lo;
+      pivots.push_back(idx < sorted.size() ? sorted[idx]
+                                           : std::numeric_limits<int>::max());
+    }
+    return pivots;
+  }
+  std::vector<std::vector<int>> split_partition(std::vector<int> local,
+                                                const std::vector<int>& pivots,
+                                                int nparts) const {
+    std::vector<std::vector<int>> parts(static_cast<std::size_t>(nparts));
+    for (int v : local) {
+      const auto it = std::lower_bound(pivots.begin(), pivots.end(), v);
+      auto q = static_cast<std::size_t>(it - pivots.begin());
+      if (q >= static_cast<std::size_t>(nparts)) q = static_cast<std::size_t>(nparts) - 1;
+      parts[q].push_back(v);
+    }
+    return parts;
+  }
+  void local_solve(std::vector<int>& local) const {
+    std::sort(local.begin(), local.end());
+  }
+  std::vector<int> merge_sample(const std::vector<int>& local) const { return local; }
+  std::vector<int> merge_params(const std::vector<int>& all_samples,
+                                int nparts) const {
+    return split_params(all_samples, nparts);
+  }
+  std::vector<std::vector<int>> repartition(std::vector<int> local,
+                                            const std::vector<int>& splitters,
+                                            int nparts) const {
+    std::vector<std::vector<int>> parts(static_cast<std::size_t>(nparts));
+    for (int v : local) {
+      const auto it = std::upper_bound(splitters.begin(), splitters.end(), v);
+      auto q = static_cast<std::size_t>(it - splitters.begin());
+      if (q >= static_cast<std::size_t>(nparts)) q = static_cast<std::size_t>(nparts) - 1;
+      parts[q].push_back(v);
+    }
+    return parts;
+  }
+  std::vector<int> local_merge(std::vector<std::vector<int>> parts) const {
+    std::vector<int> out;
+    for (auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+};
+
 static_assert(onedeep::Spec<SquareSpec>);
 static_assert(onedeep::Spec<MergeOnlySpec>);
 static_assert(onedeep::HasMergePhase<MergeOnlySpec>);
 static_assert(!onedeep::HasSplitPhase<MergeOnlySpec>);
 static_assert(onedeep::HasSplitPhase<SplitOnlySpec>);
 static_assert(!onedeep::HasMergePhase<SplitOnlySpec>);
+static_assert(onedeep::Spec<BothPhasesSpec>);
+static_assert(onedeep::HasSplitPhase<BothPhasesSpec>);
+static_assert(onedeep::HasMergePhase<BothPhasesSpec>);
 static_assert(!onedeep::HasSplitPhase<SquareSpec>);
 static_assert(!onedeep::HasMergePhase<SquareSpec>);
 
@@ -252,6 +321,94 @@ TEST_P(OneDeepP, RootBroadcastStrategyMatchesReplicated) {
   };
   EXPECT_EQ(run_with(onedeep::ParamStrategy::kReplicated),
             run_with(onedeep::ParamStrategy::kRootBroadcast));
+}
+
+TEST_P(OneDeepP, ParamStrategyParityWithBothPhases) {
+  // Regression: with BOTH split and merge phases, kRootBroadcast must be
+  // bitwise-identical to kReplicated and to run_sequential() — the spec's
+  // parameters are computed from the same rank-ordered sample concatenation
+  // whether gathered to the root and broadcast (non-root `params` is sized
+  // entirely by Process::broadcast) or allgathered and replicated. The
+  // paper presents the two as interchangeable implementations (section 3.2).
+  const int p = GetParam();
+  const auto data = random_ints(97, -400, 400, 71);
+  BothPhasesSpec spec;
+  const auto seq_out =
+      onedeep::run_sequential(spec, onedeep::block_distribute(data, p));
+  for (const auto strategy : {onedeep::ParamStrategy::kReplicated,
+                              onedeep::ParamStrategy::kRootBroadcast}) {
+    const auto par_out =
+        mpl::spmd_collect<std::vector<int>>(p, [&](mpl::Process& proc) {
+          BothPhasesSpec local_spec;
+          auto local =
+              onedeep::block_distribute(data, p)[static_cast<std::size_t>(proc.rank())];
+          return onedeep::run_process(local_spec, proc, std::move(local), strategy);
+        });
+    EXPECT_EQ(par_out, seq_out) << "strategy " << static_cast<int>(strategy);
+  }
+}
+
+TEST_P(OneDeepP, ZeroLengthLocalBlocksAreHarmless) {
+  // Empty-input hardening: with fewer elements than ranks, trailing ranks
+  // run the whole dataflow — sampling, parameter exchange, all-to-all,
+  // merge — on zero-length locals. No assert, no UB, same answer.
+  const int p = GetParam();
+  const std::vector<int> tiny{5, -3, 9};
+  BothPhasesSpec spec;
+  const auto seq_out =
+      onedeep::run_sequential(spec, onedeep::block_distribute(tiny, p));
+  for (const auto strategy : {onedeep::ParamStrategy::kReplicated,
+                              onedeep::ParamStrategy::kRootBroadcast}) {
+    const auto par_out =
+        mpl::spmd_collect<std::vector<int>>(p, [&](mpl::Process& proc) {
+          BothPhasesSpec local_spec;
+          auto local =
+              onedeep::block_distribute(tiny, p)[static_cast<std::size_t>(proc.rank())];
+          return onedeep::run_process(local_spec, proc, std::move(local), strategy);
+        });
+    EXPECT_EQ(par_out, seq_out) << "strategy " << static_cast<int>(strategy);
+    EXPECT_EQ(onedeep::gather_blocks(par_out), (std::vector<int>{-3, 5, 9}));
+  }
+}
+
+TEST_P(OneDeepP, CompletelyEmptyProblem) {
+  const int p = GetParam();
+  BothPhasesSpec spec;
+  const auto seq_out = onedeep::run_sequential(
+      spec, onedeep::block_distribute(std::vector<int>{}, p));
+  const auto par_out =
+      mpl::spmd_collect<std::vector<int>>(p, [&](mpl::Process& proc) {
+        BothPhasesSpec local_spec;
+        return onedeep::run_process(local_spec, proc, std::vector<int>{});
+      });
+  EXPECT_EQ(par_out, seq_out);
+  EXPECT_TRUE(onedeep::gather_blocks(par_out).empty());
+}
+
+TEST(OneDeep, ConcatPartsHandlesAllEmptyParts) {
+  std::vector<std::vector<int>> empties(5);
+  EXPECT_TRUE(onedeep::detail::concat_parts(std::move(empties)).empty());
+  EXPECT_TRUE(onedeep::detail::concat_parts(std::vector<std::vector<int>>{}).empty());
+  // Mixed empty/non-empty, with the non-empty part not in front (defeats
+  // the front-reuse fast path).
+  std::vector<std::vector<int>> mixed(4);
+  mixed[2] = {1, 2, 3};
+  EXPECT_EQ(onedeep::detail::concat_parts(std::move(mixed)),
+            (std::vector<int>{1, 2, 3}));
+}
+
+TEST(OneDeep, BlockDistributeFewerElementsThanParts) {
+  const std::vector<int> data{4, 2};
+  const auto locals = onedeep::block_distribute(data, 6);
+  ASSERT_EQ(locals.size(), 6u);
+  EXPECT_EQ(locals[0], (std::vector<int>{4}));
+  EXPECT_EQ(locals[1], (std::vector<int>{2}));
+  for (std::size_t i = 2; i < 6; ++i) EXPECT_TRUE(locals[i].empty());
+  EXPECT_EQ(onedeep::gather_blocks(locals), data);
+  // And the degenerate all-empty distribution round-trips too.
+  const auto none = onedeep::block_distribute(std::vector<int>{}, 3);
+  ASSERT_EQ(none.size(), 3u);
+  EXPECT_TRUE(onedeep::gather_blocks(none).empty());
 }
 
 TEST_P(OneDeepP, MergePhaseUsesAlltoallPattern) {

@@ -209,6 +209,56 @@ TEST(MailboxLanes, TryPopWildcardHonorsArrivalOrder) {
   EXPECT_EQ(env_value(env), 1);
 }
 
+TEST(MailboxLanes, ManyProducerWildcardOrderUnderConcurrentLoad) {
+  // Stress regression for the wildcard ordering race: while producers are
+  // pushing concurrently, successive kAnySource receives must observe
+  // strictly increasing arrival sequence numbers (a receive never returns a
+  // later arrival while an earlier one is in flight), and interleaved
+  // lane-targeted receives must still see per-source FIFO. The fix this
+  // pins: push stamps the arrival seq inside the lane critical section and
+  // the wildcard search rescans until stable; previously a stamped-but-not-
+  // yet-queued message could be overtaken by a later arrival.
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 1500;
+  constexpr int kRounds = 4;
+  for (int round = 0; round < kRounds; ++round) {
+    Mailbox box(kProducers);
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (int s = 0; s < kProducers; ++s) {
+      producers.emplace_back([&box, s] {
+        for (int i = 0; i < kPerProducer; ++i) box.push(make_env(s, 0, i));
+      });
+    }
+    std::uint64_t last_seq = 0;
+    bool first = true;
+    int next_from_zero = 0;  // targeted receives from source 0: FIFO check
+    int received = 0;
+    const int total = kProducers * kPerProducer;
+    while (received < total) {
+      // Interleave a lane-targeted receive among the wildcard receives.
+      if (received % 16 == 7 && next_from_zero < kPerProducer) {
+        EXPECT_EQ(env_value(box.pop(0, 0)), next_from_zero++);
+        ++received;
+        continue;
+      }
+      const Envelope env = box.pop(kAnySource, 0);
+      if (env.source == 0) {
+        EXPECT_EQ(env_value(env), next_from_zero++);
+      }
+      if (!first) {
+        EXPECT_GT(env.seq, last_seq)
+            << "wildcard receive returned an earlier arrival after a later one";
+      }
+      last_seq = env.seq;
+      first = false;
+      ++received;
+    }
+    for (auto& t : producers) t.join();
+    EXPECT_EQ(box.pending(), 0u);
+  }
+}
+
 TEST(MailboxLanes, ConcurrentSendersPreserveEachSourcesFifo) {
   constexpr int kSenders = 4;
   constexpr int kMsgs = 2000;

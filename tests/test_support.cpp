@@ -183,6 +183,21 @@ TEST(BlockRange, OwnerRoundTripWithFewerElementsThanParts) {
   }
 }
 
+TEST(BlockRange, ZeroElements) {
+  // n == 0 (the fully empty problem reaching the partition arithmetic via
+  // onedeep::block_distribute of an empty input): every block is the empty
+  // range [0, 0) — no assert, no wraparound.
+  for (std::size_t parts : {1u, 2u, 7u}) {
+    for (std::size_t p = 0; p < parts; ++p) {
+      const auto r = block_range(0, parts, p);
+      EXPECT_EQ(r.lo, 0u);
+      EXPECT_EQ(r.hi, 0u);
+      EXPECT_EQ(r.size(), 0u);
+      EXPECT_FALSE(r.contains(0));
+    }
+  }
+}
+
 // -------------------------------------------------------------------- Rng --
 
 TEST(Rng, DeterministicForSeed) {
