@@ -42,6 +42,9 @@ echo "==> task-runtime ablation (smoke)"
 echo "==> streaming pipeline ablation (smoke)"
 (cd "$BUILD_DIR" && PPA_BENCH_SMOKE=1 ./ablation_pipeline)
 
+echo "==> persistent engine ablation (smoke)"
+(cd "$BUILD_DIR" && PPA_BENCH_SMOKE=1 ./ablation_engine)
+
 test -s "$BUILD_DIR/BENCH_substrate.json" || {
   echo "missing $BUILD_DIR/BENCH_substrate.json" >&2
   exit 1
@@ -56,6 +59,10 @@ test -s "$BUILD_DIR/BENCH_taskdc.json" || {
 }
 test -s "$BUILD_DIR/BENCH_pipeline.json" || {
   echo "missing $BUILD_DIR/BENCH_pipeline.json" >&2
+  exit 1
+}
+test -s "$BUILD_DIR/BENCH_engine.json" || {
+  echo "missing $BUILD_DIR/BENCH_engine.json" >&2
   exit 1
 }
 

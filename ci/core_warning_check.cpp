@@ -133,5 +133,39 @@ static_assert(bnb::Spec<CanaryBnbSpec>);
   spmd_plan.run_process(p, pipeline::default_config());
 }
 
+/// Force-instantiate the persistent-engine API (never executed): job
+/// submission, the engine-backed archetype drivers, and the recyclable tag
+/// allocator.
+[[maybe_unused]] void instantiate_engine(mpl::Engine& engine) {
+  (void)engine.width();
+  (void)engine.jobs_run();
+  (void)engine.run(1, [](mpl::Process&) {});
+  (void)mpl::on_engine_rank_thread();
+  (void)mpl::process_engine(1);
+  {
+    mpl::TagBlock block = engine.world().reserve_tags(2);
+    (void)block.base();
+    (void)block.count();
+    (void)engine.world().tag_space().outstanding();
+  }
+
+  CanaryOneDeepSpec od;
+  (void)onedeep::run_engine(od, engine,
+                            onedeep::block_distribute(std::vector<int>{1}, 1));
+
+  CanaryBnbSpec bb;
+  bnb::ProcessStats stats;
+  (void)bnb::solve_engine(bb, engine, CanaryBnbSpec::Node{}, 1, 8, 2, &stats);
+
+  long total = 0;
+  long next = 0;
+  auto plan = pipeline::source([next]() mutable -> std::optional<long> {
+                return next < 4 ? std::optional<long>(next++) : std::nullopt;
+              }) |
+              pipeline::stage([](long v) { return v + 1; }) |
+              pipeline::sink([&total](long v) { total += v; });
+  (void)plan.run_engine(engine, pipeline::default_config());
+}
+
 }  // namespace
 }  // namespace ppa

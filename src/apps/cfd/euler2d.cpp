@@ -281,4 +281,19 @@ Array2D<double> run_shock_interface(const CfdConfig& cfg, int steps, int nprocs)
   return density;
 }
 
+Array2D<double> run_shock_interface(const CfdConfig& cfg, int steps,
+                                    mpl::Engine& engine, int nprocs) {
+  if (nprocs <= 0) nprocs = engine.width();
+  const auto pgrid = mpl::CartGrid2D::near_square(nprocs);
+  Array2D<double> density;
+  engine.run(nprocs, [&](mpl::Process& p) {
+    CfdSim sim(p, pgrid, cfg);
+    sim.init_shock_interface();
+    sim.run(steps);
+    auto rho = sim.gather_density(0);
+    if (p.rank() == 0) density = std::move(rho);
+  });
+  return density;
+}
+
 }  // namespace ppa::app

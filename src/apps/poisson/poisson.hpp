@@ -64,4 +64,10 @@ struct PoissonResult {
 /// Version 2, whole-problem driver on `nprocs` SPMD processes.
 [[nodiscard]] PoissonResult poisson_spmd(const PoissonProblem& prob, int nprocs);
 
+/// Version 2 on a persistent engine: one warm SPMD job per call (`nprocs`
+/// defaults to the engine width). A stream of solves on one engine reuses
+/// rank threads and mailbox lanes instead of respawning per problem.
+[[nodiscard]] PoissonResult poisson_spmd(const PoissonProblem& prob,
+                                         mpl::Engine& engine, int nprocs = 0);
+
 }  // namespace ppa::app

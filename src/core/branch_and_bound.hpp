@@ -59,6 +59,7 @@
 #include <vector>
 
 #include "core/task.hpp"
+#include "mpl/engine.hpp"
 #include "mpl/process.hpp"
 
 namespace ppa::bnb {
@@ -388,6 +389,32 @@ double solve_process(S& spec, mpl::Process& p, typename S::node_type root,
     }
   }
   return incumbent;
+}
+
+/// Whole-problem driver on a persistent engine: submits solve_process as
+/// one job over `nprocs` warm ranks (engine width by default) and returns
+/// the global minimum. A stream of solves on one engine reuses rank
+/// threads and mailbox lanes instead of respawning per problem.
+template <Spec S>
+double solve_engine(S& spec, mpl::Engine& engine, typename S::node_type root,
+                    int nprocs = 0, std::size_t chunk = 512,
+                    std::size_t seed_factor = 4, ProcessStats* stats = nullptr) {
+  if (nprocs <= 0) nprocs = engine.width();
+  double best = kInfinity;
+  ProcessStats job_stats{};
+  engine.run(nprocs, [&](mpl::Process& p) {
+    ProcessStats local{};
+    const double incumbent = solve_process(spec, p, root, chunk, seed_factor,
+                                           stats != nullptr ? &local : nullptr);
+    // Every rank computes the same incumbent; rank 0's copy (and stats,
+    // which are symmetric across ranks) become the job result.
+    if (p.rank() == 0) {
+      best = incumbent;
+      job_stats = local;
+    }
+  });
+  if (stats != nullptr) *stats = job_stats;
+  return best;
 }
 
 }  // namespace ppa::bnb

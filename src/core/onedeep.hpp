@@ -45,6 +45,7 @@
 #include <utility>
 #include <vector>
 
+#include "mpl/engine.hpp"
 #include "mpl/process.hpp"
 #include "support/partition.hpp"
 
@@ -264,6 +265,24 @@ std::vector<typename S::value_type> run_process(
     local = spec.local_merge(std::move(received));
   }
   return local;
+}
+
+/// Whole-problem driver on a persistent engine: run_process on one warm
+/// SPMD job per call. `locals` is the initial block distribution (its size
+/// sets the job width, which must fit engine.width()); the result is the
+/// final distribution. A stream of one-deep computations on one engine
+/// reuses rank threads and mailbox lanes instead of respawning per call.
+template <Spec S>
+std::vector<std::vector<typename S::value_type>> run_engine(
+    S& spec, mpl::Engine& engine,
+    std::vector<std::vector<typename S::value_type>> locals,
+    ParamStrategy strategy = ParamStrategy::kReplicated) {
+  const int nprocs = static_cast<int>(locals.size());
+  engine.run(nprocs, [&](mpl::Process& p) {
+    auto& slot = locals[static_cast<std::size_t>(p.rank())];
+    slot = run_process(spec, p, std::move(slot), strategy);
+  });
+  return locals;
 }
 
 /// Block-distribute `data` over `nparts` processes (the archetype's default

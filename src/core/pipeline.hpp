@@ -51,8 +51,10 @@
 //                       replica.
 //   run_process(p)    — SPMD: each node maps to a block of ranks (farms
 //                       get `width` ranks) and every edge gets a dedicated
-//                       mailbox tag block (mpl::reserve_tag_block agreed by
-//                       broadcast). Flow control is credit-based: a
+//                       mailbox tag pair from the world's recyclable tag
+//                       space (rank 0 reserves an RAII TagBlock, the world
+//                       agrees by broadcast, the block is released when the
+//                       run ends). Flow control is credit-based: a
 //                       producer spends one credit per batch sent to a
 //                       consumer and the consumer returns the credit only
 //                       after the batch is fully processed, so per-edge
@@ -61,6 +63,10 @@
 //                       enforce. Batches carry a [seq, flags, count]
 //                       header; ordered-farm output is resequenced at the
 //                       consuming rank.
+//   run_engine(eng)   — run_process submitted as one job on a persistent
+//                       mpl::Engine (engine.hpp): back-to-back runs reuse
+//                       warm rank threads, mailbox lanes and recycled tag
+//                       blocks — the serving shape for request streams.
 //
 // Exception contract: the first exception thrown by any stage (any driver)
 // is rethrown exactly once from the run_* call, after shutdown has drained:
@@ -99,6 +105,7 @@
 #include <vector>
 
 #include "core/task.hpp"
+#include "mpl/engine.hpp"
 #include "mpl/process.hpp"
 
 namespace ppa::pipeline {
@@ -557,6 +564,7 @@ class EdgeSender {
       : p_(p),
         data_tag_(data_tag),
         credit_tag_(credit_tag),
+        budget_(credit_per_consumer),
         consumers_(std::move(consumers)),
         credits_(consumers_.size(), credit_per_consumer) {}
 
@@ -584,11 +592,23 @@ class EdgeSender {
     p_.send(consumers_[c], data_tag_, pack_batch(seq, flags, items));
   }
 
-  /// End of stream: every consumer gets one EOS marker (credit-exempt).
+  /// End of stream: every consumer gets one EOS marker (credit-exempt),
+  /// then the outstanding credit returns are drained. The drain leaves this
+  /// edge's credit lane empty when the producer's role ends, which is what
+  /// makes the run's tag block safe to *recycle* (see run_process): a
+  /// reused credit tag can never observe a stale grant from a previous run.
   void send_eos() {
     for (const int c : consumers_) {
       p_.send(c, data_tag_, pack_batch<Item>(0, kFlagEos, {}));
     }
+    // Terminates: every in-flight batch is acked by its consumer after
+    // processing, and consumers process everything before honoring EOS.
+    const auto outstanding = [this] {
+      std::uint64_t spent = 0;
+      for (const auto c : credits_) spent += budget_ - c;
+      return spent;
+    };
+    while (outstanding() > 0) refill();
   }
 
  private:
@@ -608,6 +628,7 @@ class EdgeSender {
   mpl::Process& p_;
   int data_tag_;
   int credit_tag_;
+  std::uint32_t budget_;  ///< initial credits per consumer
   std::vector<int> consumers_;
   std::vector<std::uint32_t> credits_;
   std::size_t round_robin_ = 0;
@@ -776,16 +797,40 @@ class Plan {
           "pipeline::run_process: world too small for the stage graph");
     }
     // Every edge gets a private [data, credit] tag pair; rank 0 alone
-    // reserves a fresh block from the process-wide tag space and the world
-    // agrees on it by broadcast, so concurrent/successive pipelines never
-    // collide (and the tag space is spent once per run, not once per rank).
+    // reserves a fresh block from the *world's* recyclable tag space and
+    // the world agrees on it by broadcast, so concurrent/successive
+    // pipelines never collide (and the tag space is spent once per run, not
+    // once per rank). The block is released when rank 0's role completes:
+    // the EOS credit drain leaves every lane of the block empty by the time
+    // any rank finishes, and the next reserve on this world happens only
+    // after the next run's broadcast — i.e. after every rank has left this
+    // run — so recycling can never collide with in-flight traffic. On a
+    // persistent engine this is what lets an unbounded stream of pipeline
+    // jobs run on one World without exhausting the tag space.
     int reserved = 0;
-    if (p.rank() == 0) reserved = mpl::reserve_tag_block(2 * static_cast<int>(kEdges));
+    mpl::TagBlock block;
+    if (p.rank() == 0) {
+      block = p.world().reserve_tags(2 * static_cast<int>(kEdges));
+      reserved = block.base();
+    }
     const int tag_base = p.broadcast_value(reserved, 0);
     std::vector<int> base(kNodes);
     for (std::size_t j = 1; j < kNodes; ++j) base[j] = base[j - 1] + widths[j - 1];
     run_process_dispatch(p, cfg, widths, base, tag_base,
                          std::make_index_sequence<kNodes>{});
+  }
+
+  /// Submit this plan as one SPMD job on a persistent engine: every rank of
+  /// the job runs run_process, and back-to-back submissions reuse the
+  /// engine's warm rank threads, mailbox lanes and (recycled) tag blocks —
+  /// the serving shape for a stream of pipeline requests. `nprocs` defaults
+  /// to exactly ranks_required(); it must fit the engine's width().
+  /// Remember the source-consumption contract: construct a fresh plan per
+  /// run unless the source is deliberately resumable.
+  mpl::TraceSnapshot run_engine(mpl::Engine& engine, Config cfg = default_config(),
+                                int nprocs = 0) {
+    if (nprocs <= 0) nprocs = ranks_required();
+    return engine.run(nprocs, [&](mpl::Process& p) { run_process(p, cfg); });
   }
 
  private:

@@ -24,4 +24,14 @@ void AbortableBarrier::abort() {
   cv_.notify_all();
 }
 
+void AbortableBarrier::reset(int participants) {
+  const std::scoped_lock lock(mutex_);
+  participants_ = participants;
+  arrived_ = 0;
+  aborted_ = false;
+  // Bump the generation so a stale generation snapshot (from an aborted
+  // arrival that has since unwound) can never satisfy a future wait.
+  ++generation_;
+}
+
 }  // namespace ppa::mpl

@@ -10,6 +10,10 @@
 // arrive_and_wait blocks until all participants arrive (or throws
 // WorldAborted on teardown); abort() never blocks and is safe from any
 // thread, including one currently parked in the barrier's own wait.
+// reset() re-arms an aborted barrier for a new job epoch (possibly with a
+// different participant count) — callers must guarantee no thread is still
+// blocked in arrive_and_wait, which the engine does by resetting only
+// between jobs, after every rank has rendezvoused.
 #pragma once
 
 #include <condition_variable>
@@ -33,10 +37,14 @@ class AbortableBarrier {
   /// Release all waiters with WorldAborted; subsequent arrivals also throw.
   void abort();
 
+  /// Re-arm for a new epoch over `participants` ranks, clearing any abort.
+  /// Precondition: no thread is blocked in arrive_and_wait.
+  void reset(int participants);
+
  private:
   std::mutex mutex_;
   std::condition_variable cv_;
-  const int participants_;
+  int participants_;
   int arrived_ = 0;
   std::uint64_t generation_ = 0;
   bool aborted_ = false;

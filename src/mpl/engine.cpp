@@ -1,0 +1,170 @@
+#include "mpl/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace ppa::mpl {
+
+namespace {
+/// The engine whose rank thread this is (set at rank_main entry, never
+/// cleared — rank threads live exactly as long as their engine); lets
+/// spmd_run and Engine::run detect submission from inside a job body.
+thread_local const Engine* t_rank_engine = nullptr;
+}  // namespace
+
+bool on_engine_rank_thread() noexcept { return t_rank_engine != nullptr; }
+
+Engine::Engine(int width) : Engine(width, nullptr) {}
+
+Engine::Engine(int width, std::shared_ptr<TagSpace> tags) : width_(width) {
+  if (width < 1) throw std::invalid_argument("Engine width must be positive");
+  world_ = tags ? std::make_unique<World>(width, std::move(tags))
+                : std::make_unique<World>(width);
+  failures_.resize(static_cast<std::size_t>(width));
+  threads_.reserve(static_cast<std::size_t>(width));
+  try {
+    for (int r = 0; r < width; ++r) {
+      threads_.emplace_back([this, r] { rank_main(r); });
+    }
+  } catch (...) {
+    // Partial spawn (e.g. std::system_error on a thread-limited system):
+    // signal shutdown so the ranks already parked in rank_main exit, then
+    // let the threads_ member destructor join them during unwinding.
+    {
+      const std::scoped_lock lock(ctrl_mutex_);
+      shutdown_ = true;
+    }
+    ctrl_cv_.notify_all();
+    throw;
+  }
+}
+
+Engine::~Engine() {
+  {
+    const std::scoped_lock lock(ctrl_mutex_);
+    shutdown_ = true;
+  }
+  ctrl_cv_.notify_all();
+}  // jthreads join here
+
+void Engine::rank_main(int rank) {
+  t_rank_engine = this;
+  std::uint64_t seen = 0;
+  for (;;) {
+    int active = 0;
+    const std::function<void(Process&)>* body = nullptr;
+    {
+      std::unique_lock lock(ctrl_mutex_);
+      ctrl_cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen; });
+      if (shutdown_) return;
+      seen = epoch_;
+      active = active_;
+      body = body_;
+    }
+    if (rank >= active) continue;  // parked out of this job; wait for the next
+    {
+      Process process(*world_, rank);
+      try {
+        (*body)(process);
+      } catch (...) {
+        failures_[static_cast<std::size_t>(rank)] = std::current_exception();
+        world_->abort();
+      }
+    }
+    {
+      const std::scoped_lock lock(done_mutex_);
+      if (++done_ == active) done_cv_.notify_all();
+    }
+  }
+}
+
+namespace {
+void validate_submission(int nprocs, int width, const Engine* self,
+                         const Engine* rank_engine) {
+  if (nprocs < 1 || nprocs > width) {
+    throw std::invalid_argument("Engine::run: nprocs must be in [1, width()]");
+  }
+  if (rank_engine == self) {
+    throw std::logic_error(
+        "Engine::run called from one of this engine's own rank threads (a "
+        "job cannot submit to its own engine); use spmd_run, which falls "
+        "back to a cold world");
+  }
+}
+}  // namespace
+
+TraceSnapshot Engine::run_job(int nprocs,
+                              const std::function<void(Process&)>& body) {
+  validate_submission(nprocs, width_, this, t_rank_engine);
+  const std::scoped_lock submit(submit_mutex_);
+  return run_locked(nprocs, body);
+}
+
+bool Engine::try_run_job(int nprocs, const std::function<void(Process&)>& body,
+                         TraceSnapshot& out) {
+  validate_submission(nprocs, width_, this, t_rank_engine);
+  std::unique_lock submit(submit_mutex_, std::try_to_lock);
+  if (!submit.owns_lock()) return false;
+  out = run_locked(nprocs, body);
+  return true;
+}
+
+TraceSnapshot Engine::run_locked(int nprocs,
+                                 const std::function<void(Process&)>& body) {
+  // Fresh epoch: re-armed barrier, emptied mailboxes, zeroed trace — and a
+  // cleared abort if the previous job failed.
+  world_->begin_epoch(nprocs);
+  std::fill(failures_.begin(), failures_.end(), nullptr);
+  {
+    const std::scoped_lock lock(done_mutex_);
+    done_ = 0;
+  }
+  {
+    const std::scoped_lock lock(ctrl_mutex_);
+    active_ = nprocs;
+    body_ = &body;
+    ++epoch_;
+  }
+  ctrl_cv_.notify_all();
+  {
+    std::unique_lock lock(done_mutex_);
+    done_cv_.wait(lock, [&] { return done_ == nprocs; });
+  }
+  jobs_.fetch_add(1, std::memory_order_relaxed);
+
+  // Prefer reporting a root-cause exception over secondary WorldAborted
+  // ones (same policy as the one-shot spmd_run).
+  std::exception_ptr first_aborted;
+  for (const auto& failure : failures_) {
+    if (!failure) continue;
+    try {
+      std::rethrow_exception(failure);
+    } catch (const WorldAborted&) {
+      if (!first_aborted) first_aborted = failure;
+    } catch (...) {
+      std::rethrow_exception(failure);
+    }
+  }
+  if (first_aborted) std::rethrow_exception(first_aborted);
+
+  TraceSnapshot snapshot = world_->trace().snapshot();
+  // Per-sender counters are sized to the engine width; report the job's.
+  snapshot.sent_bytes_by_rank.resize(static_cast<std::size_t>(nprocs));
+  return snapshot;
+}
+
+std::shared_ptr<Engine> process_engine(int min_width) {
+  static std::mutex mutex;
+  static std::shared_ptr<Engine> engine;
+  const std::scoped_lock lock(mutex);
+  if (!engine || engine->width() < min_width) {
+    const int width = engine ? std::max(min_width, engine->width()) : min_width;
+    // Replace rather than grow in place: a caller mid-job on the old engine
+    // keeps its shared_ptr; the old engine drains and joins when released.
+    engine = std::make_shared<Engine>(width);
+  }
+  return engine;
+}
+
+}  // namespace ppa::mpl

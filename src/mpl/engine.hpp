@@ -1,0 +1,142 @@
+// ppa/mpl/engine.hpp
+//
+// The persistent SPMD engine: the paper's code skeletons "create and connect
+// the N processes" once per *computation*; a serving-shaped system creates
+// them once per *process lifetime* and amortizes that cost across a stream
+// of computations. An Engine spawns its rank threads at construction, parks
+// them between jobs, and accepts job submissions:
+//
+//   mpl::Engine engine(8);                 // 8 warm rank threads, one World
+//   auto trace = engine.run(4, body);      // job 1: ranks 0..3 run body
+//   auto more  = engine.run(8, other);     // job 2: all 8 ranks, fresh epoch
+//
+// Each job gets a fresh *epoch* over the engine's reusable World: the
+// barrier is re-armed for the job's width, mailboxes are emptied (their lane
+// tables — the expensive part — persist), and the communication trace is
+// zeroed, so consecutive jobs report independent traces exactly as separate
+// spmd_run calls would. Tag blocks reserved from the World's TagSpace by
+// runs inside a job are released when those runs end, so an unbounded job
+// stream never exhausts the tag space (see tagspace.hpp).
+//
+// Failure semantics (identical to spmd_run): if any rank of a job throws,
+// the World aborts — every rank blocked in a recv/barrier/collective is
+// released with WorldAborted — and the first non-WorldAborted exception is
+// rethrown from run(). The abort tears down the *job*, not the engine: the
+// rank threads rendezvous and park, the next begin_epoch clears the aborted
+// state, and the engine remains fully usable.
+//
+// Thread-safety: run() may be called from any thread; concurrent
+// submissions serialize (one job at a time — jobs own the whole World).
+// run() must NOT be called from one of this engine's own rank threads (a
+// rank submitting to its own engine would deadlock waiting for itself);
+// that is detected and throws std::logic_error. The process-wide engine
+// behind spmd_run() instead falls back to a cold one-shot world when the
+// call is nested or the engine is busy (try_run_job), so nested and
+// interdependent spmd_run calls keep working.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mpl/process.hpp"
+#include "mpl/world.hpp"
+
+namespace ppa::mpl {
+
+class Engine {
+ public:
+  /// Spawn `width` rank threads over one reusable World.
+  explicit Engine(int width);
+  /// Same, with an injected tag space for the World (tests use a small
+  /// range to exercise exhaustion/recycling cheaply).
+  Engine(int width, std::shared_ptr<TagSpace> tags);
+  /// Signals shutdown and joins the rank threads. Blocks until a running
+  /// job completes (jobs are never torn down mid-flight by destruction).
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Maximum job width (rank threads spawned at construction).
+  [[nodiscard]] int width() const noexcept { return width_; }
+  /// The engine's reusable World. Between jobs only; a job's body reaches
+  /// it through its Process.
+  [[nodiscard]] World& world() noexcept { return *world_; }
+  /// Jobs completed so far (including aborted ones).
+  [[nodiscard]] std::uint64_t jobs_run() const noexcept {
+    return jobs_.load(std::memory_order_relaxed);
+  }
+
+  /// Submit `body(process)` as one job on ranks [0, nprocs) and block until
+  /// every rank finishes; returns the job's communication trace. Requires
+  /// 1 <= nprocs <= width(). Rethrows the job's root-cause exception (the
+  /// engine stays usable afterward).
+  template <typename Body>
+  TraceSnapshot run(int nprocs, Body&& body) {
+    // The std::function wraps a reference — run_job blocks until the job is
+    // done, so the callable safely outlives every rank's use of it.
+    return run_job(nprocs,
+                   std::function<void(Process&)>([&body](Process& p) { body(p); }));
+  }
+
+  /// Type-erased core of run().
+  TraceSnapshot run_job(int nprocs, const std::function<void(Process&)>& body);
+
+  /// Non-blocking submission: runs the job only if the engine is idle,
+  /// returning false (without running anything) when another job is in
+  /// flight. spmd_run uses this to fall back to a cold world instead of
+  /// queueing — queueing could deadlock when the submitted run is a
+  /// transitive dependency of the in-flight job (e.g. a thread-pool task
+  /// the running job is waiting on issues its own spmd_run). Exceptions
+  /// from a job that did run propagate as in run().
+  bool try_run_job(int nprocs, const std::function<void(Process&)>& body,
+                   TraceSnapshot& out);
+
+ private:
+  void rank_main(int rank);
+  /// Job execution with submit_mutex_ already held.
+  TraceSnapshot run_locked(int nprocs, const std::function<void(Process&)>& body);
+
+  int width_;
+  std::unique_ptr<World> world_;
+  std::vector<std::exception_ptr> failures_;
+
+  // Job submission: serialized by submit_mutex_; the epoch counter tells
+  // parked rank threads a new job is ready.
+  std::mutex submit_mutex_;
+  std::mutex ctrl_mutex_;
+  std::condition_variable ctrl_cv_;
+  std::uint64_t epoch_ = 0;
+  int active_ = 0;
+  const std::function<void(Process&)>* body_ = nullptr;
+  bool shutdown_ = false;
+
+  // Rank-to-submitter rendezvous: the last active rank to finish wakes the
+  // submitting thread.
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+  int done_ = 0;
+
+  std::atomic<std::uint64_t> jobs_{0};
+
+  std::vector<std::jthread> threads_;  ///< last member: joins before the rest die
+};
+
+/// True when the calling thread is one of *any* Engine's rank threads —
+/// i.e. we are inside an SPMD job body. spmd_run uses this to route nested
+/// runs to a cold one-shot world instead of deadlocking on the engine.
+[[nodiscard]] bool on_engine_rank_thread() noexcept;
+
+/// The lazily-created process-wide engine backing spmd_run, grown (by
+/// replacement) to at least `min_width` ranks. Returns a shared_ptr so a
+/// caller's engine survives a concurrent grow; the replaced engine drains
+/// and joins when its last user releases it.
+[[nodiscard]] std::shared_ptr<Engine> process_engine(int min_width);
+
+}  // namespace ppa::mpl

@@ -272,6 +272,15 @@ std::size_t Mailbox::pending() const {
   return total;
 }
 
+void Mailbox::reset() {
+  for_each_lane([](Lane& lane) {
+    const std::scoped_lock lock(lane.mutex);
+    lane.queue.clear();
+  });
+  next_seq_.store(0, std::memory_order_relaxed);
+  aborted_.store(false, std::memory_order_release);
+}
+
 void Mailbox::abort() {
   aborted_.store(true, std::memory_order_release);
   for_each_lane([](Lane& lane) {

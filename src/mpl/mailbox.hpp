@@ -89,6 +89,13 @@ class Mailbox {
   /// Wake all blocked receivers with WorldAborted.
   void abort();
 
+  /// Drop every queued message, restart arrival sequence numbering and
+  /// clear any abort, re-arming the mailbox for a new job epoch. The lane
+  /// table is preserved (that is the warm-start win: no re-allocation).
+  /// Precondition: no thread is blocked in pop — the engine resets only
+  /// between jobs, after every rank has rendezvoused.
+  void reset();
+
  private:
   /// One sender rank's FIFO queue with its own mutex and wakeup channel.
   /// `pushes` counts arrivals monotonically; a receiver spins briefly on it

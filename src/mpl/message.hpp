@@ -31,6 +31,8 @@
 #include <utility>
 #include <vector>
 
+#include "mpl/tagspace.hpp"
+
 namespace ppa::mpl {
 
 /// Types that can cross the wire: anything memcpy-safe.
@@ -41,28 +43,22 @@ concept Wire = std::is_trivially_copyable_v<T>;
 inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -2147483647;
 
-/// Base of the reserved tag space handed out by reserve_tag_block().
-/// Ad-hoc user tags should stay below this value.
-inline constexpr int kReservedTagSpaceBase = 1 << 24;
-
-/// Reserve a contiguous block of `count` user tags (process-wide, never
-/// reused) and return its first tag. Subsystems that need private tag
-/// ranges — e.g. one [data, credit] pair per pipeline edge — reserve a
-/// block once and agree on the base collectively (rank 0 reserves, then
-/// broadcasts), so concurrent or successive runs cannot collide with each
-/// other or with ad-hoc user tags. Thread-safe; never blocks. Throws
-/// std::length_error if the ~2^31 tag space is ever exhausted — loud in
-/// release builds too, where a silent wrap would alias the negative tags
-/// reserved for internal collectives.
+/// Reserve a contiguous block of `count` user tags from the *process-wide*
+/// tag space and return its first tag. Subsystems that need private tag
+/// ranges reserve a block once and agree on the base collectively (rank 0
+/// reserves, then broadcasts), so concurrent or successive runs cannot
+/// collide with each other or with ad-hoc user tags. Thread-safe; never
+/// blocks. Throws std::length_error when the tag space is exhausted.
+///
+/// Blocks reserved here are never recycled unless explicitly returned via
+/// process_tag_space().release(). Long-lived runtimes should prefer the
+/// per-World allocator (World::reserve_tags), whose RAII TagBlock handles
+/// make every reservation release-on-destruction — that is what keeps a
+/// persistent engine running an unbounded stream of pipelines from ever
+/// exhausting the space (see tagspace.hpp).
 inline int reserve_tag_block(int count) {
   assert(count > 0);
-  static std::atomic<std::int64_t> next{kReservedTagSpaceBase};
-  const std::int64_t base =
-      next.fetch_add(static_cast<std::int64_t>(count), std::memory_order_relaxed);
-  if (base + count > std::numeric_limits<std::int32_t>::max()) {
-    throw std::length_error("mpl::reserve_tag_block: tag space exhausted");
-  }
-  return static_cast<int>(base);
+  return process_tag_space().reserve(count);
 }
 
 /// Immutable message payload with small-buffer optimization. Copying a

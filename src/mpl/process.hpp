@@ -99,7 +99,10 @@ class Process {
   Process& operator=(const Process&) = delete;
 
   [[nodiscard]] int rank() const noexcept { return rank_; }
-  [[nodiscard]] int size() const noexcept { return world_.size(); }
+  /// Ranks participating in this SPMD computation. On an engine-backed
+  /// World this is the *job's* width (world().active_size()), which may be
+  /// smaller than the engine capacity world().size().
+  [[nodiscard]] int size() const noexcept { return world_.active_size(); }
   [[nodiscard]] World& world() noexcept { return world_; }
   [[nodiscard]] bool is_root(int root = 0) const noexcept { return rank_ == root; }
 

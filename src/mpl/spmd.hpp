@@ -1,19 +1,37 @@
 // ppa/mpl/spmd.hpp
 //
-// The SPMD runtime: spawn N "processes" (threads with private mailboxes),
-// run the same body in each, join, and propagate failures. This is the
+// The SPMD runtime: run the same body on N "processes" (threads with
+// private mailboxes), join, and propagate failures. This is the
 // archetype-supplied "code skeleton needed to create and connect the N
 // processes" (paper sections 3.5.3 and 5.3).
 //
+// spmd_run is a thin wrapper over the lazily-created process-wide
+// mpl::Engine (engine.hpp): the rank threads, mailboxes and barrier are
+// created once and *reused* across calls — each call is one job epoch on
+// warm ranks, which is what lets a serving-shaped workload issue a stream
+// of SPMD computations without paying thread creation per request. The
+// observable semantics are identical to the historical spawn-per-run
+// implementation (kept as spmd_run_cold, which also serves as the
+// cold-start baseline for benchmarks): fresh trace per run, same failure
+// propagation, per-run tag isolation.
+//
 // Failure semantics: if any rank throws, the world is aborted — every other
 // rank blocked in a recv/barrier/collective is released with WorldAborted —
-// and the first non-WorldAborted exception is rethrown in the caller.
+// and the first non-WorldAborted exception is rethrown in the caller. The
+// process-wide engine survives the abort and the next call runs clean.
 //
-// Thread-safety: spmd_run blocks the calling thread until every rank joins;
-// the body runs concurrently on N threads, each owning its Process, its
-// grids and its plans. State captured by reference into the body is shared
-// across ranks — share only immutable inputs (problem configs, topologies)
-// or rank-indexed slots (as spmd_collect does for results).
+// Thread-safety: spmd_run blocks the calling thread until every rank joins.
+// Only one run at a time executes on the warm engine: a call that finds the
+// engine busy — a concurrent spmd_run from another thread, or a call issued
+// (possibly through a thread pool) from work the in-flight job depends on —
+// falls back to a cold one-shot world, exactly the historical behavior, so
+// interdependent runs can never deadlock on engine serialization. A nested
+// spmd_run — called from inside a rank's body — likewise runs on a cold
+// world. The body runs concurrently on N threads, each owning its
+// Process, its grids and its plans. State captured by reference into the
+// body is shared across ranks — share only immutable inputs (problem
+// configs, topologies) or rank-indexed slots (as spmd_collect does for
+// results).
 #pragma once
 
 #include <exception>
@@ -22,15 +40,18 @@
 #include <utility>
 #include <vector>
 
+#include "mpl/engine.hpp"
 #include "mpl/process.hpp"
 #include "mpl/world.hpp"
 
 namespace ppa::mpl {
 
-/// Run `body(process)` on `nprocs` ranks; returns the world's communication
-/// trace for the run.
+/// One-shot SPMD run: fresh World, N fresh threads, throwaway trace — the
+/// historical spmd_run. Kept as the nested-run fallback and as the
+/// cold-start contrast for the engine benchmarks; new code should prefer
+/// spmd_run (warm process engine) or an explicit Engine.
 template <typename Body>
-TraceSnapshot spmd_run(int nprocs, Body&& body) {
+TraceSnapshot spmd_run_cold(int nprocs, Body&& body) {
   World world(nprocs);
   std::vector<std::exception_ptr> failures(static_cast<std::size_t>(nprocs));
   {
@@ -63,6 +84,23 @@ TraceSnapshot spmd_run(int nprocs, Body&& body) {
   }
   if (first_aborted) std::rethrow_exception(first_aborted);
   return world.trace().snapshot();
+}
+
+/// Run `body(process)` on `nprocs` ranks; returns the world's communication
+/// trace for the run. Executes as one job on the warm process-wide engine
+/// when it is idle; a nested call from inside an SPMD body, or a call that
+/// finds the engine busy with another job, falls back to a cold one-shot
+/// world (see header notes — blocking on a busy engine could deadlock when
+/// the in-flight job transitively depends on this run).
+template <typename Body>
+TraceSnapshot spmd_run(int nprocs, Body&& body) {
+  if (!on_engine_rank_thread()) {
+    const auto engine = process_engine(nprocs);
+    TraceSnapshot out;
+    const std::function<void(Process&)> fn([&body](Process& p) { body(p); });
+    if (engine->try_run_job(nprocs, fn, out)) return out;
+  }
+  return spmd_run_cold(nprocs, std::forward<Body>(body));
 }
 
 /// Run an SPMD computation in which each rank produces a result; returns the

@@ -4,13 +4,32 @@
 
 namespace ppa::mpl {
 
-World::World(int size) : size_(size), barrier_(size), trace_(size) {
+World::World(int size) : World(size, std::make_shared<TagSpace>()) {}
+
+World::World(int size, std::shared_ptr<TagSpace> tags)
+    : size_(size),
+      active_size_(size),
+      tags_(std::move(tags)),
+      barrier_(size),
+      trace_(size) {
   if (size <= 0) throw std::invalid_argument("World size must be positive");
+  if (!tags_) throw std::invalid_argument("World tag space must be non-null");
   mailboxes_.reserve(static_cast<std::size_t>(size));
   for (int r = 0; r < size; ++r) {
     // One lane per sender rank, pre-sized so the hot path never grows.
     mailboxes_.push_back(std::make_unique<Mailbox>(size));
   }
+}
+
+void World::begin_epoch(int active) {
+  if (active < 1 || active > size_) {
+    throw std::invalid_argument("World::begin_epoch: active rank count out of range");
+  }
+  active_size_ = active;
+  barrier_.reset(active);
+  for (auto& box : mailboxes_) box->reset();
+  trace_.reset();
+  aborted_.store(false, std::memory_order_relaxed);
 }
 
 void World::abort() {

@@ -7,9 +7,18 @@
 //
 // Thread-safety and ownership: one World is shared by all rank threads of a
 // run and owns their mailboxes; it must outlive every Process bound to it
-// (spmd_run guarantees this by joining before destruction). mailbox(),
-// barrier(), trace() and abort() are safe from any rank thread; abort() is
-// idempotent and never blocks.
+// (spmd_run and the engine guarantee this by joining/rendezvousing before
+// destruction). mailbox(), barrier(), trace() and abort() are safe from any
+// rank thread; abort() is idempotent and never blocks.
+//
+// Epochs: a World created by a persistent Engine outlives any single SPMD
+// computation. begin_epoch(active) re-arms it for the next job — barrier to
+// `active` participants, mailboxes emptied, trace zeroed, abort cleared —
+// while keeping the warm state (mailbox lane tables, tag space) intact.
+// begin_epoch must only be called when no rank thread is inside any World
+// primitive (the engine calls it between jobs). A job may use fewer ranks
+// than the World holds: active_size() is the job's width, size() the
+// capacity.
 #pragma once
 
 #include <atomic>
@@ -18,6 +27,7 @@
 
 #include "mpl/barrier.hpp"
 #include "mpl/mailbox.hpp"
+#include "mpl/tagspace.hpp"
 #include "mpl/trace.hpp"
 
 namespace ppa::mpl {
@@ -25,15 +35,36 @@ namespace ppa::mpl {
 class World {
  public:
   explicit World(int size);
+  /// Construct with an injected tag space (tests use a small range to
+  /// exercise exhaustion/recycling cheaply).
+  World(int size, std::shared_ptr<TagSpace> tags);
   World(const World&) = delete;
   World& operator=(const World&) = delete;
 
+  /// Capacity: ranks with mailboxes (the engine's width).
   [[nodiscard]] int size() const noexcept { return size_; }
+  /// Width of the current job epoch (== size() outside an engine).
+  [[nodiscard]] int active_size() const noexcept { return active_size_; }
   [[nodiscard]] Mailbox& mailbox(int rank) {
     return *mailboxes_[static_cast<std::size_t>(rank)];
   }
   [[nodiscard]] AbortableBarrier& barrier() noexcept { return barrier_; }
   [[nodiscard]] CommTrace& trace() noexcept { return trace_; }
+
+  /// This World's recyclable tag allocator (see tagspace.hpp). Every run
+  /// that needs a private tag range should hold a TagBlock from here so the
+  /// tags return to the pool when the run ends.
+  [[nodiscard]] TagSpace& tag_space() noexcept { return *tags_; }
+  [[nodiscard]] const std::shared_ptr<TagSpace>& tag_space_ptr() const noexcept {
+    return tags_;
+  }
+  /// Reserve `count` tags as an RAII block (release-on-destruction).
+  [[nodiscard]] TagBlock reserve_tags(int count) { return TagBlock(tags_, count); }
+
+  /// Re-arm for a new job over `active` ranks (1 <= active <= size()); see
+  /// the epoch notes above. Clears a previous abort: a failed job tears
+  /// down the *job*, not the World.
+  void begin_epoch(int active);
 
   /// Tear down: wake every blocked receiver/barrier-waiter with WorldAborted.
   /// Called when any rank fails so the others do not deadlock.
@@ -44,6 +75,8 @@ class World {
 
  private:
   int size_;
+  int active_size_;
+  std::shared_ptr<TagSpace> tags_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   AbortableBarrier barrier_;
   CommTrace trace_;  ///< sized for per-sender accounting; see world.cpp
