@@ -1,0 +1,237 @@
+// Ablation bench for the fault-injection substrate (mpl/fault.hpp): the
+// instrumented hot paths — every mailbox push/pop, barrier, collective
+// entry, and rank-body start now carries a fault_point gate — must cost
+// nothing measurable when injection is disabled (the default, and the only
+// shipping configuration).
+//
+// Two measurements:
+//
+//   gate     — ns per fault_point call, disabled and with a never-matching
+//              plan installed (the slow path's floor), measured directly;
+//   job      — the warm engine job sweep from ablation_engine (np x iters),
+//              re-timed on the instrumented substrate and compared against
+//              the committed BENCH_engine.json baseline: per-shape ratio
+//              warm_now / warm_baseline, geomean bounded at 1.02 (the
+//              "≤2% overhead" acceptance bar).
+//
+// Results are written to BENCH_faults.json. Correctness (disabled injection
+// changes no job result vs a cold run) always gates the exit code; the
+// overhead verdict gates it only in full mode with a baseline present
+// (cross-run timing noise makes it a smoke-mode flake otherwise).
+// PPA_BENCH_SMOKE=1 selects a reduced configuration; PPA_FAULTS_BASELINE
+// overrides the baseline path.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "bench/microbench.hpp"
+#include "mpl/engine.hpp"
+#include "mpl/fault.hpp"
+#include "mpl/spmd.hpp"
+
+namespace {
+
+/// Same communication mix as ablation_engine's job sweep (neighbor
+/// sendrecv + allreduce per iteration) so warm_seconds are comparable
+/// shape-for-shape against the BENCH_engine.json baseline.
+double job_body(ppa::mpl::Process& p, int iters) {
+  double acc = static_cast<double>(p.rank());
+  for (int i = 0; i < iters; ++i) {
+    const int right = (p.rank() + 1) % p.size();
+    const int left = (p.rank() - 1 + p.size()) % p.size();
+    const std::vector<double> out{acc};
+    const auto in = p.sendrecv(right, 11, std::span<const double>(out), left, 11);
+    acc = p.allreduce(acc + in.front(), ppa::mpl::SumOp{});
+  }
+  return acc;
+}
+
+struct BaselineShape {
+  int np = 0;
+  int iters = 0;
+  double warm_seconds = 0.0;
+};
+
+/// Minimal parse of BENCH_engine.json's one-result-per-line format: pull
+/// (np, iters, warm_seconds) out of every "engine/job" row.
+std::vector<BaselineShape> load_baseline(const std::string& path) {
+  std::vector<BaselineShape> shapes;
+  std::ifstream in(path);
+  if (!in) return shapes;
+  const auto field = [](const std::string& line, const char* key) {
+    const auto pos = line.find(std::string("\"") + key + "\": ");
+    if (pos == std::string::npos) return -1.0;
+    return std::atof(line.c_str() + pos + std::strlen(key) + 4);
+  };
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"name\": \"engine/job\"") == std::string::npos) continue;
+    BaselineShape s;
+    s.np = static_cast<int>(field(line, "np"));
+    s.iters = static_cast<int>(field(line, "iters"));
+    s.warm_seconds = field(line, "warm_seconds");
+    if (s.np > 0 && s.iters > 0 && s.warm_seconds > 0.0) shapes.push_back(s);
+  }
+  return shapes;
+}
+
+std::string baseline_path() {
+  if (const char* env = std::getenv("PPA_FAULTS_BASELINE");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  for (const char* candidate : {"BENCH_engine.json", "../BENCH_engine.json"}) {
+    if (std::ifstream probe(candidate); probe) return candidate;
+  }
+  return {};
+}
+
+}  // namespace
+
+int main() {
+  using namespace ppa;
+  bench::print_header("Ablation: fault-injection overhead",
+                      "instrumented substrate with injection disabled vs the "
+                      "pre-instrumentation warm-engine baseline");
+
+  const bool smoke = microbench::smoke_mode();
+  // Best-of-N with a high N: on an oversubscribed host, scheduler noise per
+  // rep dwarfs the few-ns gate cost we are trying to resolve; the minimum
+  // over many reps converges to the true cost of each variant.
+  const int reps = smoke ? 2 : 9;
+  microbench::Reporter reporter("faults");
+  bool ok = true;
+
+  // --- gate cost, measured directly ---------------------------------------
+  const int gate_calls = smoke ? 200'000 : 2'000'000;
+  volatile int sink = 0;
+  const double t_disabled = microbench::time_best_of(reps, [&] {
+    for (int i = 0; i < gate_calls; ++i) {
+      sink = static_cast<int>(
+          mpl::fault_point(mpl::FaultSite::kMailboxPush, i & 7));
+    }
+  });
+  // Slow-path floor: a plan is installed but no rule ever matches (rule
+  // pinned to a rank bucket the loop never touches).
+  mpl::FaultPlan idle_plan(1, {mpl::FaultRule{.site = mpl::FaultSite::kBarrier,
+                                             .rank = 63,
+                                             .kind = mpl::FaultKind::kDelay}});
+  double t_installed = 0.0;
+  {
+    const mpl::FaultInjectionScope scope(idle_plan);
+    t_installed = microbench::time_best_of(reps, [&] {
+      for (int i = 0; i < gate_calls; ++i) {
+        sink = static_cast<int>(
+            mpl::fault_point(mpl::FaultSite::kMailboxPush, i & 7));
+      }
+    });
+  }
+  const double ns_disabled = 1e9 * t_disabled / gate_calls;
+  const double ns_installed = 1e9 * t_installed / gate_calls;
+  std::printf("\nfault_point gate: %.2f ns/call disabled, %.2f ns/call with "
+              "an idle plan installed\n",
+              ns_disabled, ns_installed);
+  microbench::Result gate{"faults/gate", {}};
+  gate.set("calls", gate_calls)
+      .set("ns_per_call_disabled", ns_disabled)
+      .set("ns_per_call_idle_plan", ns_installed);
+  reporter.add(std::move(gate));
+
+  // --- warm job sweep vs committed baseline --------------------------------
+  const std::string base_path = baseline_path();
+  const auto baseline = load_baseline(base_path);
+  if (baseline.empty()) {
+    std::printf("\nno BENCH_engine.json baseline found — recording warm "
+                "timings without ratios\n");
+  } else {
+    std::printf("\nbaseline: %s (%zu engine/job shapes)\n", base_path.c_str(),
+                baseline.size());
+  }
+
+  const std::vector<int> nps =
+      smoke ? std::vector<int>{2, 4} : std::vector<int>{2, 4, 8};
+  const std::vector<int> job_sizes =
+      smoke ? std::vector<int>{1, 32} : std::vector<int>{1, 16, 128};
+
+  std::printf("\n%4s %6s %12s %14s %8s\n", "np", "iters", "warm (s)",
+              "baseline (s)", "ratio");
+  double log_sum = 0.0;
+  int ratio_shapes = 0;
+  bool results_identical = true;
+  for (const int np : nps) {
+    mpl::Engine engine(np);
+    for (const int iters : job_sizes) {
+      double warm_result = 0.0;
+      double cold_result = 0.0;
+      mpl::spmd_run_cold(np, [&](mpl::Process& p) {
+        const double r = job_body(p, iters);
+        if (p.rank() == 0) cold_result = r;
+      });
+      const double t_warm = microbench::time_best_of(reps, [&] {
+        engine.run(np, [&](mpl::Process& p) {
+          const double r = job_body(p, iters);
+          if (p.rank() == 0) warm_result = r;
+        });
+      });
+      if (warm_result != cold_result) results_identical = false;
+
+      double base_warm = 0.0;
+      for (const auto& s : baseline) {
+        if (s.np == np && s.iters == iters) base_warm = s.warm_seconds;
+      }
+      const double ratio = base_warm > 0.0 ? t_warm / base_warm : 0.0;
+      if (ratio > 0.0) {
+        log_sum += std::log(ratio);
+        ++ratio_shapes;
+        std::printf("%4d %6d %12.6f %14.6f %7.3fx\n", np, iters, t_warm,
+                    base_warm, ratio);
+      } else {
+        std::printf("%4d %6d %12.6f %14s %8s\n", np, iters, t_warm, "-", "-");
+      }
+      microbench::Result r{"faults/job", {}};
+      r.set("np", np)
+          .set("iters", iters)
+          .set("warm_seconds", t_warm)
+          .set("baseline_warm_seconds", base_warm)
+          .set("ratio_vs_baseline", ratio);
+      reporter.add(std::move(r));
+    }
+  }
+  const double geomean_ratio =
+      ratio_shapes > 0 ? std::exp(log_sum / ratio_shapes) : 0.0;
+  constexpr double kOverheadBound = 1.02;
+
+  microbench::Result summary{"faults/summary", {}};
+  summary.set("geomean_ratio_vs_baseline", geomean_ratio)
+      .set("overhead_bound", kOverheadBound)
+      .set("within_bound",
+           (geomean_ratio > 0.0 && geomean_ratio <= kOverheadBound) ? 1.0 : 0.0)
+      .set("smoke", smoke ? 1.0 : 0.0);
+  reporter.add(std::move(summary));
+  reporter.write_json("BENCH_faults.json");
+
+  if (geomean_ratio > 0.0) {
+    std::printf("\n  geomean warm-time ratio vs baseline: %.3fx (bound %.2fx)\n",
+                geomean_ratio, kOverheadBound);
+  }
+  std::printf("\nShape verdicts:\n");
+  ok &= bench::verdict("disabled injection changes no job result",
+                       results_identical);
+  const bool cheap = bench::verdict(
+      "disabled fault_point gate costs < 5 ns/call", ns_disabled < 5.0);
+  const bool within = bench::verdict(
+      "warm job sweep within 2% of the pre-instrumentation baseline",
+      geomean_ratio > 0.0 && geomean_ratio <= kOverheadBound);
+  if (!smoke) {
+    ok &= cheap;
+    if (ratio_shapes > 0) ok &= within;
+  }
+  return ok ? 0 : 1;
+}

@@ -45,6 +45,9 @@ echo "==> streaming pipeline ablation (smoke)"
 echo "==> persistent engine ablation (smoke)"
 (cd "$BUILD_DIR" && PPA_BENCH_SMOKE=1 ./ablation_engine)
 
+echo "==> fault-injection overhead ablation (smoke)"
+(cd "$BUILD_DIR" && PPA_BENCH_SMOKE=1 ./ablation_faults)
+
 test -s "$BUILD_DIR/BENCH_substrate.json" || {
   echo "missing $BUILD_DIR/BENCH_substrate.json" >&2
   exit 1
@@ -65,5 +68,44 @@ test -s "$BUILD_DIR/BENCH_engine.json" || {
   echo "missing $BUILD_DIR/BENCH_engine.json" >&2
   exit 1
 }
+test -s "$BUILD_DIR/BENCH_faults.json" || {
+  echo "missing $BUILD_DIR/BENCH_faults.json" >&2
+  exit 1
+}
+
+# The committed overhead record (measured full-mode against a same-session
+# pre-instrumentation baseline — CI's smoke run above is too noisy to gate
+# on) must show disabled fault injection within the 2% acceptance bound.
+echo "==> fault-injection overhead record (committed BENCH_faults.json)"
+awk '
+  /"name": "faults\/summary"/ {
+    found = 1
+    if (match($0, /"geomean_ratio_vs_baseline": [0-9.]+/)) {
+      ratio = substr($0, RSTART + 30, RLENGTH - 30) + 0
+      if (ratio <= 0 || ratio > 1.02) {
+        printf "committed fault-injection overhead %.3fx exceeds 1.02x bound\n", ratio
+        exit 1
+      }
+      printf "committed fault-injection overhead: %.3fx (bound 1.02x)\n", ratio
+    }
+  }
+  END { if (!found) { print "no faults/summary row in BENCH_faults.json"; exit 1 } }
+' BENCH_faults.json
+
+# ThreadSanitizer leg: the engine's monitor/abort/fault paths are the racy
+# part of the codebase; vet them under TSan when the toolchain supports it
+# (probe first — some images ship g++ without libtsan). Bench and examples
+# are skipped (timing-sensitive), and the fault soak runs reduced.
+if echo 'int main(){}' | g++ -xc++ -fsanitize=thread -o /tmp/tsan_probe - 2>/dev/null; then
+  echo "==> TSan build"
+  cmake -B "$BUILD_DIR-tsan" -S . -DPPA_SANITIZE=thread \
+    -DPPA_BUILD_BENCH=OFF -DPPA_BUILD_EXAMPLES=OFF
+  cmake --build "$BUILD_DIR-tsan" -j "$JOBS"
+  echo "==> TSan test (engine + pipeline + faults)"
+  PPA_FAULT_SOAK_JOBS=40 ctest --test-dir "$BUILD_DIR-tsan" \
+    --output-on-failure -j "$JOBS" -R 'test_engine|test_pipeline|test_faults'
+else
+  echo "==> TSan leg skipped (no usable -fsanitize=thread toolchain)"
+fi
 
 echo "==> OK"

@@ -161,14 +161,17 @@ PoissonResult poisson_spmd(const PoissonProblem& prob, int nprocs) {
 }
 
 PoissonResult poisson_spmd(const PoissonProblem& prob, mpl::Engine& engine,
-                           int nprocs) {
+                           int nprocs, const mpl::JobOptions& options) {
   if (nprocs <= 0) nprocs = engine.width();
   const auto pgrid = mpl::CartGrid2D::near_square(nprocs);
   PoissonResult result;
-  engine.run(nprocs, [&](mpl::Process& p) {
-    auto local = poisson_process(p, pgrid, prob);
-    if (p.rank() == 0) result = std::move(local);
-  });
+  engine.run(
+      nprocs,
+      [&](mpl::Process& p) {
+        auto local = poisson_process(p, pgrid, prob);
+        if (p.rank() == 0) result = std::move(local);
+      },
+      options);
   return result;
 }
 

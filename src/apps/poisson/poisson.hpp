@@ -67,7 +67,9 @@ struct PoissonResult {
 /// Version 2 on a persistent engine: one warm SPMD job per call (`nprocs`
 /// defaults to the engine width). A stream of solves on one engine reuses
 /// rank threads and mailbox lanes instead of respawning per problem.
+/// `options` attaches a per-job deadline / cancel token / watchdog (job.hpp).
 [[nodiscard]] PoissonResult poisson_spmd(const PoissonProblem& prob,
-                                         mpl::Engine& engine, int nprocs = 0);
+                                         mpl::Engine& engine, int nprocs = 0,
+                                         const mpl::JobOptions& options = {});
 
 }  // namespace ppa::app

@@ -398,21 +398,25 @@ double solve_process(S& spec, mpl::Process& p, typename S::node_type root,
 template <Spec S>
 double solve_engine(S& spec, mpl::Engine& engine, typename S::node_type root,
                     int nprocs = 0, std::size_t chunk = 512,
-                    std::size_t seed_factor = 4, ProcessStats* stats = nullptr) {
+                    std::size_t seed_factor = 4, ProcessStats* stats = nullptr,
+                    const mpl::JobOptions& options = {}) {
   if (nprocs <= 0) nprocs = engine.width();
   double best = kInfinity;
   ProcessStats job_stats{};
-  engine.run(nprocs, [&](mpl::Process& p) {
-    ProcessStats local{};
-    const double incumbent = solve_process(spec, p, root, chunk, seed_factor,
-                                           stats != nullptr ? &local : nullptr);
-    // Every rank computes the same incumbent; rank 0's copy (and stats,
-    // which are symmetric across ranks) become the job result.
-    if (p.rank() == 0) {
-      best = incumbent;
-      job_stats = local;
-    }
-  });
+  engine.run(
+      nprocs,
+      [&](mpl::Process& p) {
+        ProcessStats local{};
+        const double incumbent = solve_process(
+            spec, p, root, chunk, seed_factor, stats != nullptr ? &local : nullptr);
+        // Every rank computes the same incumbent; rank 0's copy (and stats,
+        // which are symmetric across ranks) become the job result.
+        if (p.rank() == 0) {
+          best = incumbent;
+          job_stats = local;
+        }
+      },
+      options);
   if (stats != nullptr) *stats = job_stats;
   return best;
 }

@@ -569,6 +569,11 @@ class EdgeSender {
         credits_(consumers_.size(), credit_per_consumer) {}
 
   void send(std::uint64_t seq, std::uint32_t flags, const std::vector<Item>& items) {
+    // Cancellation propagates through the flow control: a producer blocked
+    // in a credit wait is released by the abort (WorldAborted from recv),
+    // and one that is busy *computing* between batches stops here, at its
+    // next send, instead of filling downstream credit it no longer needs.
+    if (p_.cancelled()) throw mpl::JobCancelled{};
     std::size_t c = 0;
     if (consumers_.size() == 1) {
       while (credits_[0] == 0) refill();
@@ -654,6 +659,10 @@ class EdgeReceiver {
 
   std::optional<WireBatch<Item>> recv() {
     for (;;) {
+      // See EdgeSender::send: consumers observe cancellation between
+      // batches; a consumer blocked waiting for data is released by the
+      // accompanying abort instead.
+      if (p_.cancelled()) throw mpl::JobCancelled{};
       if (resequence_ && !pending_.empty() && pending_.begin()->first == next_seq_) {
         WireBatch<Item> b = std::move(pending_.begin()->second);
         pending_.erase(pending_.begin());
@@ -826,11 +835,16 @@ class Plan {
   /// the serving shape for a stream of pipeline requests. `nprocs` defaults
   /// to exactly ranks_required(); it must fit the engine's width().
   /// Remember the source-consumption contract: construct a fresh plan per
-  /// run unless the source is deliberately resumable.
+  /// run unless the source is deliberately resumable. `options` attaches a
+  /// deadline / cancel token / watchdog to the job (mpl/job.hpp): on
+  /// cancellation, stages blocked in credit or data waits release via the
+  /// abort and computing stages stop at their next edge operation.
   mpl::TraceSnapshot run_engine(mpl::Engine& engine, Config cfg = default_config(),
-                                int nprocs = 0) {
+                                int nprocs = 0,
+                                const mpl::JobOptions& options = {}) {
     if (nprocs <= 0) nprocs = ranks_required();
-    return engine.run(nprocs, [&](mpl::Process& p) { run_process(p, cfg); });
+    return engine.run(
+        nprocs, [&](mpl::Process& p) { run_process(p, cfg); }, options);
   }
 
  private:

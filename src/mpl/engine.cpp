@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "mpl/fault.hpp"
+
 namespace ppa::mpl {
 
 namespace {
@@ -11,6 +13,11 @@ namespace {
 /// cleared — rank threads live exactly as long as their engine); lets
 /// spmd_run and Engine::run detect submission from inside a job body.
 thread_local const Engine* t_rank_engine = nullptr;
+
+/// Monitor tick while a job with options is in flight: bounds how stale a
+/// deadline/cancel/stall decision can be, and therefore (together with
+/// abort's wakeup latency) the teardown latency pinned by tests.
+constexpr auto kMonitorTick = std::chrono::milliseconds(1);
 }  // namespace
 
 bool on_engine_rank_thread() noexcept { return t_rank_engine != nullptr; }
@@ -22,6 +29,7 @@ Engine::Engine(int width, std::shared_ptr<TagSpace> tags) : width_(width) {
   world_ = tags ? std::make_unique<World>(width, std::move(tags))
                 : std::make_unique<World>(width);
   failures_.resize(static_cast<std::size_t>(width));
+  monitor_thread_ = std::jthread([this] { monitor_main(); });
   threads_.reserve(static_cast<std::size_t>(width));
   try {
     for (int r = 0; r < width; ++r) {
@@ -29,13 +37,19 @@ Engine::Engine(int width, std::shared_ptr<TagSpace> tags) : width_(width) {
     }
   } catch (...) {
     // Partial spawn (e.g. std::system_error on a thread-limited system):
-    // signal shutdown so the ranks already parked in rank_main exit, then
-    // let the threads_ member destructor join them during unwinding.
+    // signal shutdown so the ranks already parked in rank_main exit — and
+    // the monitor likewise — then let the jthread members join them during
+    // unwinding.
     {
       const std::scoped_lock lock(ctrl_mutex_);
       shutdown_ = true;
     }
     ctrl_cv_.notify_all();
+    {
+      const std::scoped_lock lock(monitor_mutex_);
+      monitor_stop_ = true;
+    }
+    monitor_cv_.notify_all();
     throw;
   }
 }
@@ -46,7 +60,24 @@ Engine::~Engine() {
     shutdown_ = true;
   }
   ctrl_cv_.notify_all();
-}  // jthreads join here
+  // Join explicitly (rather than via member destruction) so the order is
+  // deliberate: ranks first — they may be finishing a job, possibly one
+  // that is mid-abort, and a *wedged* job with a deadline/watchdog still
+  // needs the live monitor to rescue it — then stop and join the monitor.
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  {
+    const std::scoped_lock lock(monitor_mutex_);
+    monitor_stop_ = true;
+  }
+  monitor_cv_.notify_all();
+  if (monitor_thread_.joinable()) monitor_thread_.join();
+  // Rendezvous with an in-flight submitter: run_job's lock is released only
+  // after run_locked has materialized its result, so once we acquire it no
+  // other thread can still be reading members we are about to destroy.
+  const std::scoped_lock submit(submit_mutex_);
+}
 
 void Engine::rank_main(int rank) {
   t_rank_engine = this;
@@ -66,6 +97,9 @@ void Engine::rank_main(int rank) {
     {
       Process process(*world_, rank);
       try {
+        // Fault-injection crash site: a kThrow rule here models the whole
+        // rank body failing at job start.
+        (void)fault_point(FaultSite::kRankBody, rank);
         (*body)(process);
       } catch (...) {
         failures_[static_cast<std::size_t>(rank)] = std::current_exception();
@@ -77,6 +111,72 @@ void Engine::rank_main(int rank) {
       if (++done_ == active) done_cv_.notify_all();
     }
   }
+}
+
+void Engine::monitor_main() {
+  std::unique_lock lock(monitor_mutex_);
+  for (;;) {
+    if (monitor_stop_) return;
+    if (!monitor_armed_) {
+      // Parked: zero cost while jobs run without options.
+      monitor_cv_.wait(lock, [&] { return monitor_stop_ || monitor_armed_; });
+      continue;
+    }
+    monitor_cv_.wait_for(lock, kMonitorTick);
+    if (monitor_stop_ || !monitor_armed_) continue;
+
+    const auto now = std::chrono::steady_clock::now();
+    FailureReason reason = FailureReason::kNone;
+    if (monitor_cancel_.cancelled()) {
+      reason = FailureReason::kCancelled;
+    } else if (monitor_has_deadline_ && now >= monitor_deadline_) {
+      reason = FailureReason::kDeadline;
+    } else if (monitor_grace_.count() > 0) {
+      const std::uint64_t progress = world_->progress_total();
+      if (progress != monitor_last_progress_) {
+        monitor_last_progress_ = progress;
+        monitor_last_change_ = now;
+      } else if (now - monitor_last_change_ >= monitor_grace_) {
+        reason = FailureReason::kStalled;
+      }
+    }
+    if (reason != FailureReason::kNone) {
+      // One shot per job: record why, raise the cooperative flag so
+      // compute-bound ranks can observe it, then abort so blocked ranks
+      // release with WorldAborted. All non-blocking, so holding
+      // monitor_mutex_ here is fine.
+      failure_reason_.store(reason, std::memory_order_release);
+      monitor_armed_ = false;
+      world_->request_cancel();
+      world_->abort();
+    }
+  }
+}
+
+void Engine::arm_monitor(const JobOptions& options) {
+  failure_reason_.store(FailureReason::kNone, std::memory_order_relaxed);
+  if (!options.any()) return;  // option-free jobs never touch the monitor
+  const auto now = std::chrono::steady_clock::now();
+  {
+    const std::scoped_lock lock(monitor_mutex_);
+    monitor_has_deadline_ = options.deadline.count() > 0;
+    monitor_deadline_ = now + options.deadline;
+    monitor_cancel_ = options.cancel;
+    monitor_grace_ = options.watchdog_grace;
+    monitor_last_progress_ = world_->progress_total();
+    monitor_last_change_ = now;
+    monitor_armed_ = true;
+  }
+  monitor_cv_.notify_all();
+}
+
+void Engine::disarm_monitor() {
+  const std::scoped_lock lock(monitor_mutex_);
+  // Holding monitor_mutex_ guarantees the monitor is not mid-decision:
+  // after this returns it can never abort on the finished job's behalf
+  // (which would otherwise leak into the next epoch).
+  monitor_armed_ = false;
+  monitor_cancel_ = CancelToken{};
 }
 
 namespace {
@@ -95,10 +195,11 @@ void validate_submission(int nprocs, int width, const Engine* self,
 }  // namespace
 
 TraceSnapshot Engine::run_job(int nprocs,
-                              const std::function<void(Process&)>& body) {
+                              const std::function<void(Process&)>& body,
+                              const JobOptions& options) {
   validate_submission(nprocs, width_, this, t_rank_engine);
   const std::scoped_lock submit(submit_mutex_);
-  return run_locked(nprocs, body);
+  return run_locked(nprocs, body, options);
 }
 
 bool Engine::try_run_job(int nprocs, const std::function<void(Process&)>& body,
@@ -106,20 +207,24 @@ bool Engine::try_run_job(int nprocs, const std::function<void(Process&)>& body,
   validate_submission(nprocs, width_, this, t_rank_engine);
   std::unique_lock submit(submit_mutex_, std::try_to_lock);
   if (!submit.owns_lock()) return false;
-  out = run_locked(nprocs, body);
+  out = run_locked(nprocs, body, JobOptions{});
   return true;
 }
 
 TraceSnapshot Engine::run_locked(int nprocs,
-                                 const std::function<void(Process&)>& body) {
+                                 const std::function<void(Process&)>& body,
+                                 const JobOptions& options) {
   // Fresh epoch: re-armed barrier, emptied mailboxes, zeroed trace — and a
-  // cleared abort if the previous job failed.
+  // cleared abort/cancel if the previous job failed.
   world_->begin_epoch(nprocs);
   std::fill(failures_.begin(), failures_.end(), nullptr);
   {
     const std::scoped_lock lock(done_mutex_);
     done_ = 0;
   }
+  // Arm before the ranks start so the full job is covered; the monitor can
+  // only abort *this* epoch's world state, which begin_epoch just reset.
+  arm_monitor(options);
   {
     const std::scoped_lock lock(ctrl_mutex_);
     active_ = nprocs;
@@ -131,6 +236,7 @@ TraceSnapshot Engine::run_locked(int nprocs,
     std::unique_lock lock(done_mutex_);
     done_cv_.wait(lock, [&] { return done_ == nprocs; });
   }
+  disarm_monitor();
   jobs_.fetch_add(1, std::memory_order_relaxed);
 
   // Prefer reporting a root-cause exception over secondary WorldAborted
@@ -146,7 +252,23 @@ TraceSnapshot Engine::run_locked(int nprocs,
       std::rethrow_exception(failure);
     }
   }
-  if (first_aborted) std::rethrow_exception(first_aborted);
+  if (first_aborted) {
+    // Every failure is a secondary WorldAborted: if the monitor initiated
+    // the abort, surface its typed reason instead. (A job whose every rank
+    // returned cleanly despite a late monitor abort reports success below —
+    // cancellation raced completion and completion won.)
+    switch (failure_reason_.load(std::memory_order_acquire)) {
+      case FailureReason::kCancelled:
+        throw JobCancelled{};
+      case FailureReason::kDeadline:
+        throw JobDeadlineExceeded{};
+      case FailureReason::kStalled:
+        throw JobStalled{};
+      case FailureReason::kNone:
+        break;
+    }
+    std::rethrow_exception(first_aborted);
+  }
 
   TraceSnapshot snapshot = world_->trace().snapshot();
   // Per-sender counters are sized to the engine width; report the job's.

@@ -25,6 +25,17 @@
 // rank threads rendezvous and park, the next begin_epoch clears the aborted
 // state, and the engine remains fully usable.
 //
+// Per-job control (job.hpp): run(nprocs, body, JobOptions{...}) attaches a
+// wall-clock deadline, a CancelToken, and/or a stuck-job watchdog grace to
+// the job. A dedicated monitor thread (parked when no job has options)
+// watches the armed job and, on deadline expiry / token fire / a full grace
+// period with no rank progress, requests cooperative cancellation
+// (Process::cancelled() turns true) and aborts the World so blocked ranks
+// release immediately. The submitter then sees a typed JobDeadlineExceeded,
+// JobCancelled, or JobStalled instead of a bare WorldAborted — unless some
+// rank failed with its own root-cause exception first, which still wins.
+// See docs/substrate.md § Failure semantics.
+//
 // Thread-safety: run() may be called from any thread; concurrent
 // submissions serialize (one job at a time — jobs own the whole World).
 // run() must NOT be called from one of this engine's own rank threads (a
@@ -36,6 +47,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <condition_variable>
 #include <exception>
@@ -45,6 +57,7 @@
 #include <thread>
 #include <vector>
 
+#include "mpl/job.hpp"
 #include "mpl/process.hpp"
 #include "mpl/world.hpp"
 
@@ -76,17 +89,21 @@ class Engine {
   /// Submit `body(process)` as one job on ranks [0, nprocs) and block until
   /// every rank finishes; returns the job's communication trace. Requires
   /// 1 <= nprocs <= width(). Rethrows the job's root-cause exception (the
-  /// engine stays usable afterward).
+  /// engine stays usable afterward). `options` attaches a deadline, cancel
+  /// token and/or watchdog to the job (see job.hpp); the default — no
+  /// options — costs nothing.
   template <typename Body>
-  TraceSnapshot run(int nprocs, Body&& body) {
+  TraceSnapshot run(int nprocs, Body&& body, const JobOptions& options = {}) {
     // The std::function wraps a reference — run_job blocks until the job is
     // done, so the callable safely outlives every rank's use of it.
     return run_job(nprocs,
-                   std::function<void(Process&)>([&body](Process& p) { body(p); }));
+                   std::function<void(Process&)>([&body](Process& p) { body(p); }),
+                   options);
   }
 
   /// Type-erased core of run().
-  TraceSnapshot run_job(int nprocs, const std::function<void(Process&)>& body);
+  TraceSnapshot run_job(int nprocs, const std::function<void(Process&)>& body,
+                        const JobOptions& options = {});
 
   /// Non-blocking submission: runs the job only if the engine is idle,
   /// returning false (without running anything) when another job is in
@@ -99,9 +116,19 @@ class Engine {
                    TraceSnapshot& out);
 
  private:
+  /// Why the monitor tore the current job down (kNone = it did not).
+  enum class FailureReason : int { kNone = 0, kCancelled, kDeadline, kStalled };
+
   void rank_main(int rank);
+  void monitor_main();
+  /// Arm the monitor for the job about to start (no-op for empty options).
+  void arm_monitor(const JobOptions& options);
+  /// Disarm after the job's ranks have rendezvoused; after this returns the
+  /// monitor can no longer abort on the finished job's behalf.
+  void disarm_monitor();
   /// Job execution with submit_mutex_ already held.
-  TraceSnapshot run_locked(int nprocs, const std::function<void(Process&)>& body);
+  TraceSnapshot run_locked(int nprocs, const std::function<void(Process&)>& body,
+                           const JobOptions& options);
 
   int width_;
   std::unique_ptr<World> world_;
@@ -125,6 +152,23 @@ class Engine {
 
   std::atomic<std::uint64_t> jobs_{0};
 
+  // Per-job monitor (deadline / cancel / watchdog). The monitor owns its
+  // own mutex — never ctrl_mutex_ or done_mutex_ — so it can fire while
+  // ranks and the submitter hold those. failure_reason_ is written by the
+  // monitor before it aborts and read by run_locked after the rendezvous.
+  std::atomic<FailureReason> failure_reason_{FailureReason::kNone};
+  std::mutex monitor_mutex_;
+  std::condition_variable monitor_cv_;
+  bool monitor_armed_ = false;
+  bool monitor_stop_ = false;
+  bool monitor_has_deadline_ = false;
+  std::chrono::steady_clock::time_point monitor_deadline_{};
+  CancelToken monitor_cancel_;
+  std::chrono::nanoseconds monitor_grace_{0};
+  std::uint64_t monitor_last_progress_ = 0;
+  std::chrono::steady_clock::time_point monitor_last_change_{};
+
+  std::jthread monitor_thread_;        ///< joins after the rank threads
   std::vector<std::jthread> threads_;  ///< last member: joins before the rest die
 };
 

@@ -1,0 +1,80 @@
+#include "mpl/fault.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace ppa::mpl {
+
+namespace detail {
+std::atomic<const FaultPlan*> g_active_plan{nullptr};
+
+FaultAction fault_point_slow(const FaultPlan& plan, FaultSite site, int rank) {
+  return plan.visit(site, rank);
+}
+
+namespace {
+/// splitmix64 finalizer: a well-mixed pure function of its input, used to
+/// turn (seed, site, rank, op) into a uniform probability draw.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double draw(std::uint64_t seed, FaultSite site, int rank, std::uint64_t op,
+            std::size_t rule_index) {
+  std::uint64_t h = mix(seed);
+  h = mix(h ^ (static_cast<std::uint64_t>(site) << 8));
+  h = mix(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank)));
+  h = mix(h ^ op);
+  h = mix(h ^ static_cast<std::uint64_t>(rule_index));
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+}  // namespace
+}  // namespace detail
+
+FaultPlan::FaultPlan(std::uint64_t seed, std::vector<FaultRule> rules)
+    : seed_(seed),
+      rules_(std::move(rules)),
+      counters_(static_cast<std::size_t>(FaultSite::kCount_) * kRankBuckets),
+      fired_(rules_.size()) {}
+
+FaultAction FaultPlan::visit(FaultSite site, int rank) const {
+  const std::uint64_t op = counter(site, rank).fetch_add(1, std::memory_order_relaxed);
+  FaultAction action = FaultAction::kNone;
+  std::size_t throw_rule = rules_.size();
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& rule = rules_[i];
+    if (rule.site != site) continue;
+    if (rule.rank >= 0 && rule.rank != rank) continue;
+    if (op < rule.at_op) continue;
+    if (rule.period == 0 ? op != rule.at_op
+                         : (op - rule.at_op) % rule.period != 0) {
+      continue;
+    }
+    if (rule.probability < 1.0 &&
+        detail::draw(seed_, site, rank, op, i) >= rule.probability) {
+      continue;
+    }
+    fired_[i].fetch_add(1, std::memory_order_relaxed);
+    switch (rule.kind) {
+      case FaultKind::kDelay:
+        if (rule.delay_us > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(rule.delay_us));
+        }
+        break;  // a delay composes with other matching rules
+      case FaultKind::kDrop:
+        action = FaultAction::kDropMessage;
+        break;
+      case FaultKind::kThrow:
+        throw_rule = i;  // throw after every matching rule is counted
+        break;
+    }
+  }
+  if (throw_rule != rules_.size()) throw FaultInjected(site, rank, op);
+  return action;
+}
+
+}  // namespace ppa::mpl

@@ -1,0 +1,157 @@
+// ppa/mpl/fault.hpp
+//
+// Deterministic fault injection for the SPMD substrate. A FaultPlan is a
+// seeded list of rules, each naming an injection *site* (mailbox push,
+// mailbox pop, barrier, collective entry, rank body start), an optional
+// target rank, an (at_op, period) trigger over that site's per-rank
+// operation counter, a firing probability, and an *action*: delay the
+// operation (which doubles as message-reordering pressure when applied at
+// push sites — a delayed sender's messages land after a faster peer's),
+// drop the message (push sites only: the payload vanishes after trace
+// accounting, modeling wire loss), or throw FaultInjected (a send failure
+// at push sites, a rank crash at kRankBody).
+//
+// Determinism: probability draws are a pure hash of (plan seed, site, rank,
+// op count) — no global RNG, no dependence on thread interleaving — so a
+// plan that crashes rank 2 on its 7th barrier does so on every run. Per-rank
+// op counters live in the plan, so two jobs under the same plan see the
+// counters continue (rules with period > 0 keep firing; at_op triggers are
+// one-shot per counter stream).
+//
+// Hot-path cost when disabled (the default, and the shipping configuration):
+// one relaxed atomic load of the active-plan pointer and a predicted-
+// not-taken branch per instrumented operation — measured ≤2% on the warm
+// engine job sweep (bench/ablation_faults.cpp, BENCH_faults.json).
+//
+// Thread-safety: FaultPlan is immutable after construction except for its
+// internal atomic counters; fault_point may be called from any thread.
+// FaultInjectionScope installs a plan process-wide (RAII, restores the
+// previous plan on destruction); the scope must outlive every job running
+// under it — destroy it only after Engine::run / spmd_run returns.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ppa::mpl {
+
+/// Instrumented operations a rule can target.
+enum class FaultSite : int {
+  kMailboxPush = 0,  ///< sender side of Mailbox::push (rank = source)
+  kMailboxPop,       ///< receiver side of Mailbox::pop (rank = owner)
+  kBarrier,          ///< Process::barrier entry
+  kCollective,       ///< entry of every Process collective
+  kRankBody,         ///< Engine rank loop, just before the job body runs
+  kCount_
+};
+
+/// What a matched rule does to the operation.
+enum class FaultKind : int {
+  kDelay,  ///< sleep delay_us, then proceed (reordering pressure at push)
+  kDrop,   ///< push sites: silently discard the message (wire loss)
+  kThrow   ///< throw FaultInjected (send failure / rank crash)
+};
+
+/// What the instrumented call site must do. Delays and throws are handled
+/// inside fault_point; only message drops need caller cooperation.
+enum class FaultAction : int { kNone = 0, kDropMessage };
+
+/// Thrown by an operation a FaultPlan decided to fail.
+struct FaultInjected : std::runtime_error {
+  FaultInjected(FaultSite site, int rank, std::uint64_t op)
+      : std::runtime_error("ppa::mpl fault injected (site=" +
+                           std::to_string(static_cast<int>(site)) +
+                           " rank=" + std::to_string(rank) +
+                           " op=" + std::to_string(op) + ")") {}
+};
+
+/// One trigger: fire at op `at_op` of `site` on `rank` (every `period` ops
+/// thereafter when period > 0), with probability `probability`.
+struct FaultRule {
+  FaultSite site = FaultSite::kMailboxPush;
+  int rank = -1;               ///< target rank, -1 = any rank
+  std::uint64_t at_op = 0;     ///< first op count (per site, per rank) to match
+  std::uint64_t period = 0;    ///< 0 = one-shot at at_op; else every period ops
+  double probability = 1.0;    ///< deterministic draw from (seed, site, rank, op)
+  FaultKind kind = FaultKind::kDelay;
+  std::uint32_t delay_us = 0;  ///< kDelay: how long to stall the operation
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed, std::vector<FaultRule> rules);
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  /// Count an operation at (site, rank) and apply every matching rule.
+  /// May sleep (kDelay) or throw FaultInjected (kThrow); returns
+  /// kDropMessage when a kDrop rule matched.
+  FaultAction visit(FaultSite site, int rank) const;
+
+  /// Times rule `i` has fired (diagnostic; rules fire in declaration order).
+  [[nodiscard]] std::uint64_t fired(std::size_t i) const noexcept {
+    return fired_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] const std::vector<FaultRule>& rules() const noexcept {
+    return rules_;
+  }
+
+ private:
+  /// Per-(site, rank) op counters. Ranks hash into kRankBuckets slots, so
+  /// counts stay per-rank (hence deterministic) for worlds up to that width.
+  static constexpr std::size_t kRankBuckets = 64;
+
+  std::atomic<std::uint64_t>& counter(FaultSite site, int rank) const {
+    const auto s = static_cast<std::size_t>(site);
+    const auto r = static_cast<std::size_t>(rank < 0 ? 0 : rank) % kRankBuckets;
+    return counters_[s * kRankBuckets + r];
+  }
+
+  std::uint64_t seed_;
+  std::vector<FaultRule> rules_;
+  mutable std::vector<std::atomic<std::uint64_t>> counters_;
+  mutable std::vector<std::atomic<std::uint64_t>> fired_;
+};
+
+namespace detail {
+/// The process-wide active plan; nullptr (the default) disables injection.
+extern std::atomic<const FaultPlan*> g_active_plan;
+FaultAction fault_point_slow(const FaultPlan& plan, FaultSite site, int rank);
+}  // namespace detail
+
+/// The per-operation gate compiled into the substrate: one relaxed load and
+/// a predicted branch when no plan is installed.
+inline FaultAction fault_point(FaultSite site, int rank) {
+  const FaultPlan* plan = detail::g_active_plan.load(std::memory_order_relaxed);
+  if (plan == nullptr) [[likely]] return FaultAction::kNone;
+  return detail::fault_point_slow(*plan, site, rank);
+}
+
+/// True when any plan is installed (tests / diagnostics).
+[[nodiscard]] inline bool fault_injection_active() noexcept {
+  return detail::g_active_plan.load(std::memory_order_relaxed) != nullptr;
+}
+
+/// RAII installation of a plan: active while the scope lives, previous plan
+/// restored on destruction. Keep the scope alive until every job submitted
+/// under it has returned.
+class FaultInjectionScope {
+ public:
+  explicit FaultInjectionScope(const FaultPlan& plan)
+      : previous_(detail::g_active_plan.exchange(&plan,
+                                                 std::memory_order_release)) {}
+  ~FaultInjectionScope() {
+    detail::g_active_plan.store(previous_, std::memory_order_release);
+  }
+  FaultInjectionScope(const FaultInjectionScope&) = delete;
+  FaultInjectionScope& operator=(const FaultInjectionScope&) = delete;
+
+ private:
+  const FaultPlan* previous_;
+};
+
+}  // namespace ppa::mpl

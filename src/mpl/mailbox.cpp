@@ -83,6 +83,15 @@ void Mailbox::for_each_lane(F&& f) const {
 }
 
 void Mailbox::push(Envelope env) {
+  // Fault-injection send site (one relaxed load when disabled): a kDelay
+  // rule stalls this sender — reordering pressure against faster peers — a
+  // kDrop rule discards the message after the sender's trace accounting
+  // (wire loss: the receiver wedges until watchdog/deadline rescue), and a
+  // kThrow rule raises FaultInjected out of the send.
+  if (fault_point(FaultSite::kMailboxPush, env.source) ==
+      FaultAction::kDropMessage) {
+    return;
+  }
   Lane& lane = lane_for(env.source);
   {
     // Stamp the arrival sequence number *inside* the lane critical section:
@@ -251,16 +260,31 @@ Envelope Mailbox::pop_any_source(int tag) {
 }
 
 Envelope Mailbox::pop(int source, int tag) {
-  if (source == kAnySource) return pop_any_source(tag);
-  return pop_from_lane(source, tag);
+  // Fault-injection receive site (drops are meaningless here and ignored;
+  // delays model a slow receiver, throws a receive failure).
+  (void)fault_point(FaultSite::kMailboxPop, owner_);
+  Envelope env =
+      source == kAnySource ? pop_any_source(tag) : pop_from_lane(source, tag);
+  // A completed receive is the owner's heartbeat: the watchdog reads these
+  // counters to distinguish a slow job from a wedged one.
+  if (progress_ != nullptr) progress_->fetch_add(1, std::memory_order_relaxed);
+  return env;
 }
 
 bool Mailbox::try_pop(int source, int tag, Envelope& out) {
   if (aborted_.load(std::memory_order_acquire)) throw WorldAborted{};
-  if (source == kAnySource) return extract_any_source(tag, out);
-  Lane& lane = lane_for(source);
-  const std::scoped_lock lock(lane.mutex);
-  return extract_from_lane(lane, tag, out);
+  bool found = false;
+  if (source == kAnySource) {
+    found = extract_any_source(tag, out);
+  } else {
+    Lane& lane = lane_for(source);
+    const std::scoped_lock lock(lane.mutex);
+    found = extract_from_lane(lane, tag, out);
+  }
+  if (found && progress_ != nullptr) {
+    progress_->fetch_add(1, std::memory_order_relaxed);
+  }
+  return found;
 }
 
 std::size_t Mailbox::pending() const {

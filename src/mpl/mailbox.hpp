@@ -47,6 +47,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "mpl/fault.hpp"
 #include "mpl/message.hpp"
 
 namespace ppa::mpl {
@@ -95,6 +96,15 @@ class Mailbox {
   /// Precondition: no thread is blocked in pop — the engine resets only
   /// between jobs, after every rank has rendezvoused.
   void reset();
+
+  /// Identify the owning rank and its heartbeat counter (see
+  /// World::bump_progress): every successful pop bumps the counter, and the
+  /// fault-injection pop site reports `owner` as its rank. Optional — a
+  /// standalone mailbox works without it.
+  void bind_owner(int owner, std::atomic<std::uint64_t>* progress) noexcept {
+    owner_ = owner;
+    progress_ = progress;
+  }
 
  private:
   /// One sender rank's FIFO queue with its own mutex and wakeup channel.
@@ -150,6 +160,9 @@ class Mailbox {
   std::atomic<std::uint64_t> next_seq_{0};
   std::atomic<std::uint64_t> futile_wakeups_{0};
   std::atomic<bool> aborted_{false};
+
+  int owner_ = -1;                               ///< see bind_owner
+  std::atomic<std::uint64_t>* progress_ = nullptr;  ///< owner's heartbeat
 };
 
 }  // namespace ppa::mpl

@@ -51,6 +51,8 @@
 #include <utility>
 #include <vector>
 
+#include "mpl/fault.hpp"
+#include "mpl/job.hpp"
 #include "mpl/message.hpp"
 #include "mpl/world.hpp"
 
@@ -105,6 +107,20 @@ class Process {
   [[nodiscard]] int size() const noexcept { return world_.active_size(); }
   [[nodiscard]] World& world() noexcept { return world_; }
   [[nodiscard]] bool is_root(int root = 0) const noexcept { return rank_ == root; }
+
+  /// True when this job's cancellation was requested (the submitter's
+  /// CancelToken fired, the deadline/watchdog tripped, or another rank
+  /// called world().request_cancel()). Compute-heavy bodies should poll
+  /// this between phases; blocked communication is released separately by
+  /// the accompanying abort.
+  [[nodiscard]] bool cancelled() const noexcept {
+    return world_.cancel_requested();
+  }
+  /// Poll-and-exit helper: throws JobCancelled when cancelled() is true,
+  /// which marks the job as cancelled at the submitter.
+  void throw_if_cancelled() const {
+    if (cancelled()) throw JobCancelled{};
+  }
 
   // --- point-to-point -----------------------------------------------------
 
@@ -179,6 +195,10 @@ class Process {
   /// Barrier synchronization across all ranks.
   void barrier() {
     world_.trace().count_op(Op::kBarrier);
+    (void)fault_point(FaultSite::kBarrier, rank_);
+    // Arrival is this rank's heartbeat: a rank *waiting* for stragglers has
+    // done its part; only ranks that never arrive read as stalled.
+    world_.bump_progress(rank_);
     world_.barrier().arrive_and_wait();
   }
 
@@ -190,6 +210,7 @@ class Process {
   template <Wire T>
   void broadcast(std::vector<T>& data, int root = 0) {
     world_.trace().count_op(Op::kBroadcast);
+    collective_entry();
     const int tag = next_internal_tag();
     broadcast_impl(data, root, tag);
   }
@@ -207,6 +228,7 @@ class Process {
   template <Wire T>
   std::vector<std::vector<T>> gather_parts(std::span<const T> local, int root = 0) {
     world_.trace().count_op(Op::kGather);
+    collective_entry();
     const int tag = next_internal_tag();
     return gather_parts_impl(local, root, tag);
   }
@@ -225,6 +247,7 @@ class Process {
   template <Wire T>
   std::vector<std::vector<T>> allgather_parts(std::span<const T> local) {
     world_.trace().count_op(Op::kAllgather);
+    collective_entry();
     const int tag = next_internal_tag();
     auto blocks = ((size() & (size() - 1)) == 0)
                       ? allgather_blocks_doubling(std::as_bytes(local), tag)
@@ -253,6 +276,7 @@ class Process {
   template <Wire T>
   std::vector<T> scatter(const std::vector<std::vector<T>>& parts, int root = 0) {
     world_.trace().count_op(Op::kScatter);
+    collective_entry();
     const int tag = next_internal_tag();
     return scatter_impl(parts, root, tag);
   }
@@ -262,6 +286,7 @@ class Process {
   template <Wire T, typename BinaryOp>
   T reduce(const T& local, BinaryOp op, int root = 0) {
     world_.trace().count_op(Op::kReduce);
+    collective_entry();
     const int tag = next_internal_tag();
     return reduce_impl(local, op, root, tag);
   }
@@ -271,6 +296,7 @@ class Process {
   template <Wire T, typename BinaryOp>
   T allreduce(const T& local, BinaryOp op) {
     world_.trace().count_op(Op::kAllreduce);
+    collective_entry();
     const int p = size();
     if ((p & (p - 1)) == 0) {
       const int tag = next_internal_tag();
@@ -299,6 +325,7 @@ class Process {
   template <Wire T, typename BinaryOp>
   std::vector<T> allreduce_vec(std::span<const T> local, BinaryOp op) {
     world_.trace().count_op(Op::kAllreduce);
+    collective_entry();
     const int p = size();
     if (p == 1) return {local.begin(), local.end()};
     if (local.size_bytes() >= kRingAllreduceBytes &&
@@ -321,6 +348,7 @@ class Process {
   template <Wire T>
   std::vector<std::vector<T>> alltoall(std::vector<std::vector<T>> parts) {
     world_.trace().count_op(Op::kAlltoall);
+    collective_entry();
     assert(static_cast<int>(parts.size()) == size());
     const int tag = next_internal_tag();
     const int p = size();
@@ -343,6 +371,7 @@ class Process {
   template <Wire T, typename BinaryOp>
   T exscan(const T& local, BinaryOp op, const T& init = T{}) {
     world_.trace().count_op(Op::kScan);
+    collective_entry();
     const int tag = next_internal_tag();
     T acc = init;
     if (rank_ > 0) acc = recv_internal_value<T>(rank_ - 1, tag);
@@ -357,9 +386,15 @@ class Process {
   /// Vectors at or above this byte size take the ring allreduce path.
   static constexpr std::size_t kRingAllreduceBytes = 2048;
 
+  /// Fault-injection site shared by every collective's entry.
+  void collective_entry() { (void)fault_point(FaultSite::kCollective, rank_); }
+
   // Raw send with tracing; used by both user sends and collectives.
   void send_raw(int dest, int tag, Payload payload) {
     world_.trace().count_message(rank_, payload.size());
+    // Sends never block, so a completed push is sender progress (heartbeat
+    // for the watchdog) even when the matching receive is far away.
+    world_.bump_progress(rank_);
     world_.mailbox(dest).push(Envelope{rank_, tag, std::move(payload)});
   }
 

@@ -27,6 +27,7 @@
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -35,6 +36,26 @@ namespace ppa::mpl {
 /// Base of the reserved tag space. Ad-hoc user tags should stay below this
 /// value; tags handed out by TagSpace/reserve_tag_block are at or above it.
 inline constexpr int kReservedTagSpaceBase = 1 << 24;
+
+/// Thrown by TagSpace::reserve when no free range can satisfy the request.
+/// Derives from std::length_error (the historical exhaustion type, which
+/// existing callers catch); the message reports how many tags were asked
+/// for and how many are outstanding, so a leak — outstanding ~ capacity
+/// under a reserve/release workload — is distinguishable at a glance from
+/// fragmentation or an oversized request.
+struct TagSpaceExhausted : std::length_error {
+  TagSpaceExhausted(int requested_tags, int outstanding_tags, int capacity_tags)
+      : std::length_error("mpl::TagSpace: tag space exhausted (requested " +
+                          std::to_string(requested_tags) + ", outstanding " +
+                          std::to_string(outstanding_tags) + " of " +
+                          std::to_string(capacity_tags) + ")"),
+        requested(requested_tags),
+        outstanding(outstanding_tags),
+        capacity(capacity_tags) {}
+  int requested;    ///< block size asked for
+  int outstanding;  ///< tags reserved and not yet released
+  int capacity;     ///< limit() - base()
+};
 
 class TagSpace {
  public:
@@ -51,9 +72,9 @@ class TagSpace {
   TagSpace& operator=(const TagSpace&) = delete;
 
   /// Reserve a contiguous block of `count` tags; returns its first tag.
-  /// Throws std::length_error when no free range can hold the block — loud
-  /// in release builds too, where a silent wrap would alias the negative
-  /// tags reserved for internal collectives.
+  /// Throws TagSpaceExhausted (a std::length_error) when no free range can
+  /// hold the block — loud in release builds too, where a silent wrap would
+  /// alias the negative tags reserved for internal collectives.
   int reserve(int count) {
     assert(count > 0);
     const std::scoped_lock lock(mutex_);
@@ -66,7 +87,7 @@ class TagSpace {
         return lo;
       }
     }
-    throw std::length_error("mpl::TagSpace: tag space exhausted");
+    throw TagSpaceExhausted(count, outstanding_, limit_ - base_);
   }
 
   /// Return a previously reserved block. Releasing tags that were never
@@ -120,7 +141,7 @@ class TagSpace {
 class TagBlock {
  public:
   TagBlock() = default;
-  /// Reserve `count` tags from `space`; throws std::length_error when full.
+  /// Reserve `count` tags from `space`; throws TagSpaceExhausted when full.
   TagBlock(std::shared_ptr<TagSpace> space, int count)
       : space_(std::move(space)), count_(count), base_(space_->reserve(count)) {}
   TagBlock(TagBlock&& other) noexcept { swap(other); }

@@ -10,6 +10,7 @@ World::World(int size, std::shared_ptr<TagSpace> tags)
     : size_(size),
       active_size_(size),
       tags_(std::move(tags)),
+      progress_(size > 0 ? static_cast<std::size_t>(size) : 1),
       barrier_(size),
       trace_(size) {
   if (size <= 0) throw std::invalid_argument("World size must be positive");
@@ -18,6 +19,9 @@ World::World(int size, std::shared_ptr<TagSpace> tags)
   for (int r = 0; r < size; ++r) {
     // One lane per sender rank, pre-sized so the hot path never grows.
     mailboxes_.push_back(std::make_unique<Mailbox>(size));
+    // The mailbox stamps the owner's heartbeat on every successful receive
+    // (and identifies the owner at its fault-injection sites).
+    mailboxes_.back()->bind_owner(r, &progress_[static_cast<std::size_t>(r)].value);
   }
 }
 
@@ -30,6 +34,7 @@ void World::begin_epoch(int active) {
   for (auto& box : mailboxes_) box->reset();
   trace_.reset();
   aborted_.store(false, std::memory_order_relaxed);
+  cancel_requested_.store(false, std::memory_order_relaxed);
 }
 
 void World::abort() {

@@ -13,8 +13,9 @@
 //
 // Epochs: a World created by a persistent Engine outlives any single SPMD
 // computation. begin_epoch(active) re-arms it for the next job — barrier to
-// `active` participants, mailboxes emptied, trace zeroed, abort cleared —
-// while keeping the warm state (mailbox lane tables, tag space) intact.
+// `active` participants, mailboxes emptied, trace zeroed, abort and cancel
+// cleared — while keeping the warm state (mailbox lane tables, tag space,
+// progress counters) intact.
 // begin_epoch must only be called when no rank thread is inside any World
 // primitive (the engine calls it between jobs). A job may use fewer ranks
 // than the World holds: active_size() is the job's width, size() the
@@ -22,6 +23,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -62,8 +64,8 @@ class World {
   [[nodiscard]] TagBlock reserve_tags(int count) { return TagBlock(tags_, count); }
 
   /// Re-arm for a new job over `active` ranks (1 <= active <= size()); see
-  /// the epoch notes above. Clears a previous abort: a failed job tears
-  /// down the *job*, not the World.
+  /// the epoch notes above. Clears a previous abort and cancel request: a
+  /// failed job tears down the *job*, not the World.
   void begin_epoch(int active);
 
   /// Tear down: wake every blocked receiver/barrier-waiter with WorldAborted.
@@ -73,14 +75,49 @@ class World {
     return aborted_.load(std::memory_order_relaxed);
   }
 
+  /// Cooperative cancellation flag for the current epoch, surfaced to job
+  /// bodies as Process::cancelled(). Set by the engine's monitor (just
+  /// before it aborts) or by any rank; cleared by begin_epoch.
+  void request_cancel() noexcept {
+    cancel_requested_.store(true, std::memory_order_release);
+  }
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return cancel_requested_.load(std::memory_order_acquire);
+  }
+
+  /// Per-rank heartbeat: bumped whenever rank completes a unit of substrate
+  /// work (a send, a successful receive, a barrier arrival). Monotone across
+  /// epochs — the watchdog consumes deltas, so counters are never reset.
+  void bump_progress(int rank) noexcept {
+    progress_[static_cast<std::size_t>(rank)].value.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  /// Sum of all per-rank heartbeats; unchanged across a watchdog grace
+  /// period means no rank is making progress.
+  [[nodiscard]] std::uint64_t progress_total() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& counter : progress_) {
+      total += counter.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
  private:
+  /// One cache line per rank: heartbeats are bumped on every substrate op,
+  /// so sharing a line across ranks would ping-pong it.
+  struct alignas(64) PaddedCounter {
+    std::atomic<std::uint64_t> value{0};
+  };
+
   int size_;
   int active_size_;
   std::shared_ptr<TagSpace> tags_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<PaddedCounter> progress_;  ///< one per rank; see bump_progress
   AbortableBarrier barrier_;
   CommTrace trace_;  ///< sized for per-sender accounting; see world.cpp
   std::atomic<bool> aborted_{false};
+  std::atomic<bool> cancel_requested_{false};
 };
 
 }  // namespace ppa::mpl

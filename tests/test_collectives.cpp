@@ -4,8 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <numeric>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "mpl/process.hpp"
@@ -312,6 +316,89 @@ INSTANTIATE_TEST_SUITE_P(WorldSizes, CollectivesP,
                            std::string name = "P";
                            name += std::to_string(info.param);
                            return name;
+                         });
+
+// ---------------------------------------------- abort during collectives --
+//
+// When one rank fails while the others are blocked inside a collective, the
+// abort must release every peer with WorldAborted (no wedged rank, no lost
+// wakeup in the tree/ring recv chains) and the submitter must see the
+// victim's root-cause exception, not a secondary WorldAborted.
+
+/// Run `op(proc)` on every rank except `victim`, which sleeps until its
+/// peers are blocked inside the collective and then throws. Returns only
+/// after asserting all P-1 peers were released with WorldAborted.
+template <typename Collective>
+void expect_abort_releases_peers(int p, int victim, Collective&& op) {
+  std::atomic<int> released{0};
+  EXPECT_THROW(
+      spmd_run_cold(p,
+                    [&](Process& proc) {
+                      if (proc.rank() == victim) {
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(20));
+                        throw std::runtime_error("victim failure");
+                      }
+                      try {
+                        op(proc);
+                      } catch (const WorldAborted&) {
+                        released.fetch_add(1);
+                        throw;
+                      }
+                    }),
+      std::runtime_error);
+  EXPECT_EQ(released.load(), p - 1)
+      << "p=" << p << " victim=" << victim
+      << ": every surviving rank must be released with WorldAborted";
+}
+
+class CollectiveAbortP : public testing::TestWithParam<int> {
+ protected:
+  [[nodiscard]] int P() const { return GetParam(); }
+};
+
+TEST_P(CollectiveAbortP, BroadcastReleasesBlockedRanks) {
+  // The victim must be the root: a live root completes its sends and only
+  // the subtree below a dead rank would block. Cover root 0 and a non-zero
+  // root (the tree is rotated around the root rank).
+  for (const int root : {0, P() - 1}) {
+    expect_abort_releases_peers(P(), root, [root](Process& proc) {
+      std::vector<int> data;
+      proc.broadcast(data, root);
+    });
+  }
+}
+
+TEST_P(CollectiveAbortP, ScatterReleasesBlockedRanks) {
+  for (const int root : {0, P() - 1}) {
+    expect_abort_releases_peers(P(), root, [root](Process& proc) {
+      (void)proc.scatter(std::vector<std::vector<int>>{}, root);
+    });
+  }
+}
+
+TEST_P(CollectiveAbortP, AllreduceReleasesBlockedRanks) {
+  // Rootless: any victim blocks everyone (the result needs every input).
+  // Cover both ends of the rank range.
+  for (const int victim : {0, P() - 1}) {
+    expect_abort_releases_peers(P(), victim, [](Process& proc) {
+      (void)proc.allreduce(proc.rank(), SumOp{});
+    });
+  }
+}
+
+TEST_P(CollectiveAbortP, AllgatherReleasesBlockedRanks) {
+  for (const int victim : {0, P() - 1}) {
+    expect_abort_releases_peers(P(), victim, [](Process& proc) {
+      (void)proc.allgather_value(proc.rank());
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, CollectiveAbortP,
+                         testing::Values(2, 4, 8),
+                         [](const testing::TestParamInfo<int>& info) {
+                           return "P" + std::to_string(info.param);
                          });
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include <memory>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -417,6 +418,84 @@ TEST(EngineDrivers, MixedJobStreamOnOneEngine) {
   }
   EXPECT_EQ(engine.jobs_run(), 15u);
   EXPECT_EQ(engine.world().tag_space().outstanding(), 0);
+}
+
+TEST(TagSpace, ExhaustionReportsRequestAndOutstanding) {
+  auto space = std::make_shared<TagSpace>(1 << 24, (1 << 24) + 8);
+  TagBlock held(space, 6);
+  try {
+    (void)space->reserve(4);
+    FAIL() << "reserve past capacity must throw";
+  } catch (const TagSpaceExhausted& e) {
+    EXPECT_EQ(e.requested, 4);
+    EXPECT_EQ(e.outstanding, 6);
+    EXPECT_EQ(e.capacity, 8);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("requested 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("outstanding 6 of 8"), std::string::npos) << what;
+  }
+  // The failed reserve must not perturb the free list: after releasing the
+  // held block the full (coalesced) range is reservable again.
+  held.release();
+  TagBlock all(space, 8);
+  EXPECT_EQ(all.base(), 1 << 24);
+  EXPECT_EQ(space->outstanding(), 8);
+}
+
+TEST(EngineLifetime, DestroyWhileJobIsMidAbort) {
+  // Regression: destroying the engine while a job is tearing down via abort
+  // must not hang the destructor's rank-thread joins.
+  std::atomic<int> entered{0};
+  std::atomic<bool> release_thrower{false};
+  auto engine = std::make_unique<Engine>(4);
+  std::exception_ptr seen;
+  std::thread submitter([&] {
+    try {
+      engine->run(4, [&](Process& p) {
+        entered.fetch_add(1);
+        if (p.rank() == 0) {
+          while (!release_thrower.load()) std::this_thread::yield();
+          throw std::runtime_error("boom");
+        }
+        (void)p.recv_value<int>(0, 9);  // blocks until the abort releases it
+      });
+    } catch (...) {
+      seen = std::current_exception();
+    }
+  });
+  while (entered.load() < 4) std::this_thread::yield();
+  release_thrower.store(true);  // abort starts propagating...
+  engine.reset();               // ...while the engine is being destroyed
+  submitter.join();
+  ASSERT_TRUE(seen);
+  EXPECT_THROW(std::rethrow_exception(seen), std::runtime_error);
+}
+
+TEST(EngineLifetime, DestroyWhileWedgedJobAwaitsWatchdog) {
+  // Harder variant: no rank ever throws — the job is wedged on a message
+  // that never arrives and only the watchdog can end it. Destruction must
+  // keep the monitor alive until it rescues the wedged ranks.
+  auto engine = std::make_unique<Engine>(2);
+  std::atomic<int> entered{0};
+  std::exception_ptr seen;
+  std::thread submitter([&] {
+    try {
+      engine->run(
+          2,
+          [&](Process& p) {
+            entered.fetch_add(1);
+            (void)p.recv_value<int>((p.rank() + 1) % 2, 13);
+          },
+          JobOptions{.watchdog_grace = std::chrono::milliseconds(100)});
+    } catch (...) {
+      seen = std::current_exception();
+    }
+  });
+  while (entered.load() < 2) std::this_thread::yield();
+  engine.reset();  // must block, not hang: the watchdog fires mid-destructor
+  submitter.join();
+  ASSERT_TRUE(seen);
+  EXPECT_THROW(std::rethrow_exception(seen), JobStalled);
 }
 
 }  // namespace
