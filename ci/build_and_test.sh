@@ -48,6 +48,9 @@ echo "==> persistent engine ablation (smoke)"
 echo "==> fault-injection overhead ablation (smoke)"
 (cd "$BUILD_DIR" && PPA_BENCH_SMOKE=1 ./ablation_faults)
 
+echo "==> serving scheduler ablation (smoke)"
+(cd "$BUILD_DIR" && PPA_BENCH_SMOKE=1 ./ablation_serving)
+
 test -s "$BUILD_DIR/BENCH_substrate.json" || {
   echo "missing $BUILD_DIR/BENCH_substrate.json" >&2
   exit 1
@@ -70,6 +73,10 @@ test -s "$BUILD_DIR/BENCH_engine.json" || {
 }
 test -s "$BUILD_DIR/BENCH_faults.json" || {
   echo "missing $BUILD_DIR/BENCH_faults.json" >&2
+  exit 1
+}
+test -s "$BUILD_DIR/BENCH_serving.json" || {
+  echo "missing $BUILD_DIR/BENCH_serving.json" >&2
   exit 1
 }
 
@@ -101,9 +108,10 @@ if echo 'int main(){}' | g++ -xc++ -fsanitize=thread -o /tmp/tsan_probe - 2>/dev
   cmake -B "$BUILD_DIR-tsan" -S . -DPPA_SANITIZE=thread \
     -DPPA_BUILD_BENCH=OFF -DPPA_BUILD_EXAMPLES=OFF
   cmake --build "$BUILD_DIR-tsan" -j "$JOBS"
-  echo "==> TSan test (engine + pipeline + faults)"
-  PPA_FAULT_SOAK_JOBS=40 ctest --test-dir "$BUILD_DIR-tsan" \
-    --output-on-failure -j "$JOBS" -R 'test_engine|test_pipeline|test_faults'
+  echo "==> TSan test (engine + scheduler + pipeline + faults)"
+  PPA_FAULT_SOAK_JOBS=40 PPA_SCHED_SOAK_JOBS=40 ctest --test-dir "$BUILD_DIR-tsan" \
+    --output-on-failure -j "$JOBS" \
+    -R 'test_engine|test_scheduler|test_pipeline|test_faults'
 else
   echo "==> TSan leg skipped (no usable -fsanitize=thread toolchain)"
 fi

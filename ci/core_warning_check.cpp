@@ -167,5 +167,31 @@ static_assert(bnb::Spec<CanaryBnbSpec>);
   (void)plan.run_engine(engine, pipeline::default_config());
 }
 
+/// Force-instantiate the space-sharing serving layer (never executed): the
+/// scheduler's submission surface and the scheduler-backed archetype
+/// drivers.
+[[maybe_unused]] void instantiate_scheduler(mpl::Scheduler& scheduler) {
+  (void)scheduler.width();
+  (void)scheduler.stats();
+  (void)scheduler.engine();
+  (void)scheduler.run(1, [](mpl::Process&) {}, mpl::Priority::kHigh);
+  mpl::TraceSnapshot snapshot;
+  (void)scheduler.try_run_job(1, [](mpl::Process&) {}, snapshot);
+  (void)mpl::process_scheduler(1);
+
+  CanaryBnbSpec bb;
+  bnb::ProcessStats stats;
+  (void)bnb::solve_engine(bb, scheduler, CanaryBnbSpec::Node{}, 1, 8, 2, &stats);
+
+  long total = 0;
+  long next = 0;
+  auto plan = pipeline::source([next]() mutable -> std::optional<long> {
+                return next < 4 ? std::optional<long>(next++) : std::nullopt;
+              }) |
+              pipeline::stage([](long v) { return v + 1; }) |
+              pipeline::sink([&total](long v) { total += v; });
+  (void)plan.run_engine(scheduler, pipeline::default_config());
+}
+
 }  // namespace
 }  // namespace ppa

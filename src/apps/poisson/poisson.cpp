@@ -175,4 +175,20 @@ PoissonResult poisson_spmd(const PoissonProblem& prob, mpl::Engine& engine,
   return result;
 }
 
+PoissonResult poisson_spmd(const PoissonProblem& prob, mpl::Scheduler& scheduler,
+                           int nprocs, mpl::Priority priority,
+                           const mpl::JobOptions& options) {
+  if (nprocs <= 0) nprocs = scheduler.width();
+  const auto pgrid = mpl::CartGrid2D::near_square(nprocs);
+  PoissonResult result;
+  scheduler.run(
+      nprocs,
+      [&](mpl::Process& p) {
+        auto local = poisson_process(p, pgrid, prob);
+        if (p.rank() == 0) result = std::move(local);
+      },
+      priority, options);
+  return result;
+}
+
 }  // namespace ppa::app

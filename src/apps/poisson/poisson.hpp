@@ -72,4 +72,15 @@ struct PoissonResult {
                                          mpl::Engine& engine, int nprocs = 0,
                                          const mpl::JobOptions& options = {});
 
+/// Version 2 through a space-sharing Scheduler (mpl/scheduler.hpp): a
+/// narrow solve runs concurrently with other narrow jobs on a wide engine,
+/// queueing (priority-ordered, bounded) when ranks are busy. `nprocs`
+/// defaults to the scheduler's full width; a deadline counts from
+/// submission, queueing time included.
+[[nodiscard]] PoissonResult poisson_spmd(const PoissonProblem& prob,
+                                         mpl::Scheduler& scheduler,
+                                         int nprocs = 0,
+                                         mpl::Priority priority = mpl::Priority::kNormal,
+                                         const mpl::JobOptions& options = {});
+
 }  // namespace ppa::app

@@ -60,6 +60,7 @@
 
 #include "core/task.hpp"
 #include "mpl/engine.hpp"
+#include "mpl/scheduler.hpp"
 #include "mpl/process.hpp"
 
 namespace ppa::bnb {
@@ -417,6 +418,35 @@ double solve_engine(S& spec, mpl::Engine& engine, typename S::node_type root,
         }
       },
       options);
+  if (stats != nullptr) *stats = job_stats;
+  return best;
+}
+
+/// Same, through a space-sharing Scheduler (mpl/scheduler.hpp): a narrow
+/// solve runs concurrently with other narrow jobs on a wide engine, and
+/// queues (priority-ordered, bounded) instead of blocking on ranks
+/// [0, nprocs). `nprocs` defaults to the scheduler's full width.
+template <Spec S>
+double solve_engine(S& spec, mpl::Scheduler& scheduler, typename S::node_type root,
+                    int nprocs = 0, std::size_t chunk = 512,
+                    std::size_t seed_factor = 4, ProcessStats* stats = nullptr,
+                    mpl::Priority priority = mpl::Priority::kNormal,
+                    const mpl::JobOptions& options = {}) {
+  if (nprocs <= 0) nprocs = scheduler.width();
+  double best = kInfinity;
+  ProcessStats job_stats{};
+  scheduler.run(
+      nprocs,
+      [&](mpl::Process& p) {
+        ProcessStats local{};
+        const double incumbent = solve_process(
+            spec, p, root, chunk, seed_factor, stats != nullptr ? &local : nullptr);
+        if (p.rank() == 0) {
+          best = incumbent;
+          job_stats = local;
+        }
+      },
+      priority, options);
   if (stats != nullptr) *stats = job_stats;
   return best;
 }

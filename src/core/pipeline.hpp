@@ -106,6 +106,7 @@
 
 #include "core/task.hpp"
 #include "mpl/engine.hpp"
+#include "mpl/scheduler.hpp"
 #include "mpl/process.hpp"
 
 namespace ppa::pipeline {
@@ -845,6 +846,20 @@ class Plan {
     if (nprocs <= 0) nprocs = ranks_required();
     return engine.run(
         nprocs, [&](mpl::Process& p) { run_process(p, cfg); }, options);
+  }
+
+  /// Same, through a space-sharing Scheduler (mpl/scheduler.hpp): a narrow
+  /// pipeline runs concurrently with other narrow jobs on a wide engine,
+  /// and queues (priority-ordered, bounded) instead of blocking on ranks
+  /// [0, nprocs). A JobOptions::deadline counts from submission — queueing
+  /// time is charged against it (the serving SLO contract).
+  mpl::TraceSnapshot run_engine(mpl::Scheduler& scheduler,
+                                Config cfg = default_config(), int nprocs = 0,
+                                mpl::Priority priority = mpl::Priority::kNormal,
+                                const mpl::JobOptions& options = {}) {
+    if (nprocs <= 0) nprocs = ranks_required();
+    return scheduler.run(
+        nprocs, [&](mpl::Process& p) { run_process(p, cfg); }, priority, options);
   }
 
  private:

@@ -1,6 +1,7 @@
 #include "mpl/engine.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <stdexcept>
 #include <utility>
 
@@ -22,13 +23,39 @@ constexpr auto kMonitorTick = std::chrono::milliseconds(1);
 
 bool on_engine_rank_thread() noexcept { return t_rank_engine != nullptr; }
 
+bool Engine::calling_from_rank_thread() const noexcept {
+  return t_rank_engine == this;
+}
+
+class Engine::InflightGuard {
+ public:
+  explicit InflightGuard(Engine& engine) : engine_(engine) {
+    const std::scoped_lock lock(engine_.done_mutex_);
+    ++engine_.inflight_;
+  }
+  ~InflightGuard() {
+    // Notify while holding the mutex: the engine destructor destroys
+    // done_cv_ as soon as it observes inflight_ == 0, so an unlocked
+    // notify here could land on a dead condvar.
+    const std::scoped_lock lock(engine_.done_mutex_);
+    --engine_.inflight_;
+    engine_.done_cv_.notify_all();
+  }
+  InflightGuard(const InflightGuard&) = delete;
+  InflightGuard& operator=(const InflightGuard&) = delete;
+
+ private:
+  Engine& engine_;
+};
+
 Engine::Engine(int width) : Engine(width, nullptr) {}
 
 Engine::Engine(int width, std::shared_ptr<TagSpace> tags) : width_(width) {
   if (width < 1) throw std::invalid_argument("Engine width must be positive");
   world_ = tags ? std::make_unique<World>(width, std::move(tags))
                 : std::make_unique<World>(width);
-  failures_.resize(static_cast<std::size_t>(width));
+  assign_.resize(static_cast<std::size_t>(width));
+  rank_busy_.assign(static_cast<std::size_t>(width), false);
   monitor_thread_ = std::jthread([this] { monitor_main(); });
   threads_.reserve(static_cast<std::size_t>(width));
   try {
@@ -45,6 +72,7 @@ Engine::Engine(int width, std::shared_ptr<TagSpace> tags) : width_(width) {
       shutdown_ = true;
     }
     ctrl_cv_.notify_all();
+    free_cv_.notify_all();
     {
       const std::scoped_lock lock(monitor_mutex_);
       monitor_stop_ = true;
@@ -60,12 +88,19 @@ Engine::~Engine() {
     shutdown_ = true;
   }
   ctrl_cv_.notify_all();
+  free_cv_.notify_all();  // submitters parked in acquire_ranks bail out
   // Join explicitly (rather than via member destruction) so the order is
-  // deliberate: ranks first — they may be finishing a job, possibly one
-  // that is mid-abort, and a *wedged* job with a deadline/watchdog still
-  // needs the live monitor to rescue it — then stop and join the monitor.
+  // deliberate: ranks first — they may be finishing jobs, possibly ones
+  // that are mid-abort, and a *wedged* job with a deadline/watchdog still
+  // needs the live monitor to rescue it — then drain the submitter frames
+  // (they read monitor entries and the busy map after their ranks finish),
+  // then stop and join the monitor.
   for (auto& thread : threads_) {
     if (thread.joinable()) thread.join();
+  }
+  {
+    std::unique_lock lock(done_mutex_);
+    done_cv_.wait(lock, [&] { return inflight_ == 0; });
   }
   {
     const std::scoped_lock lock(monitor_mutex_);
@@ -73,42 +108,45 @@ Engine::~Engine() {
   }
   monitor_cv_.notify_all();
   if (monitor_thread_.joinable()) monitor_thread_.join();
-  // Rendezvous with an in-flight submitter: run_job's lock is released only
-  // after run_locked has materialized its result, so once we acquire it no
-  // other thread can still be reading members we are about to destroy.
-  const std::scoped_lock submit(submit_mutex_);
 }
 
 void Engine::rank_main(int rank) {
   t_rank_engine = this;
+  const auto slot = static_cast<std::size_t>(rank);
   std::uint64_t seen = 0;
   for (;;) {
-    int active = 0;
-    const std::function<void(Process&)>* body = nullptr;
+    int logical = -1;
+    JobExec* exec = nullptr;
     {
       std::unique_lock lock(ctrl_mutex_);
-      ctrl_cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen; });
-      if (shutdown_) return;
-      seen = epoch_;
-      active = active_;
-      body = body_;
+      ctrl_cv_.wait(lock,
+                    [&] { return shutdown_ || assign_[slot].ticket != seen; });
+      if (assign_[slot].ticket == seen) return;  // shutdown, no pending work
+      // A pending assignment outranks shutdown: its submitter is blocked on
+      // our rendezvous, so run it; the next loop iteration exits.
+      seen = assign_[slot].ticket;
+      logical = assign_[slot].logical;
+      exec = assign_[slot].exec;
     }
-    if (rank >= active) continue;  // parked out of this job; wait for the next
     {
-      Process process(*world_, rank);
+      Process process(exec->ctx, logical);
       try {
         // Fault-injection crash site: a kThrow rule here models the whole
-        // rank body failing at job start.
+        // rank body failing at job start. Keyed by physical rank so each
+        // rank's op-count stream stays deterministic under space-sharing.
         (void)fault_point(FaultSite::kRankBody, rank);
-        (*body)(process);
+        (*exec->body)(process);
       } catch (...) {
-        failures_[static_cast<std::size_t>(rank)] = std::current_exception();
-        world_->abort();
+        exec->failures[static_cast<std::size_t>(logical)] =
+            std::current_exception();
+        exec->ctx.abort();
       }
     }
     {
+      // exec lives in the submitter's frame: once remaining hits zero the
+      // submitter may return, so exec must not be touched past this block.
       const std::scoped_lock lock(done_mutex_);
-      if (++done_ == active) done_cv_.notify_all();
+      if (--exec->remaining == 0) done_cv_.notify_all();
     }
   }
 }
@@ -117,66 +155,184 @@ void Engine::monitor_main() {
   std::unique_lock lock(monitor_mutex_);
   for (;;) {
     if (monitor_stop_) return;
-    if (!monitor_armed_) {
-      // Parked: zero cost while jobs run without options.
-      monitor_cv_.wait(lock, [&] { return monitor_stop_ || monitor_armed_; });
+    if (monitor_armed_.empty()) {
+      // Parked: zero cost while every in-flight job runs without options.
+      monitor_cv_.wait(lock,
+                       [&] { return monitor_stop_ || !monitor_armed_.empty(); });
       continue;
     }
     monitor_cv_.wait_for(lock, kMonitorTick);
-    if (monitor_stop_ || !monitor_armed_) continue;
+    if (monitor_stop_) return;
 
     const auto now = std::chrono::steady_clock::now();
-    FailureReason reason = FailureReason::kNone;
-    if (monitor_cancel_.cancelled()) {
-      reason = FailureReason::kCancelled;
-    } else if (monitor_has_deadline_ && now >= monitor_deadline_) {
-      reason = FailureReason::kDeadline;
-    } else if (monitor_grace_.count() > 0) {
-      const std::uint64_t progress = world_->progress_total();
-      if (progress != monitor_last_progress_) {
-        monitor_last_progress_ = progress;
-        monitor_last_change_ = now;
-      } else if (now - monitor_last_change_ >= monitor_grace_) {
-        reason = FailureReason::kStalled;
+    for (auto it = monitor_armed_.begin(); it != monitor_armed_.end();) {
+      MonitorEntry& entry = **it;
+      FailureReason reason = FailureReason::kNone;
+      if (entry.cancel.cancelled()) {
+        reason = FailureReason::kCancelled;
+      } else if (entry.has_deadline && now >= entry.deadline) {
+        reason = FailureReason::kDeadline;
+      } else if (entry.grace.count() > 0) {
+        // Progress of this job's ranks only: a busy sibling job must not
+        // mask this one's stall, nor a stalled sibling trip this one.
+        const std::uint64_t progress = entry.ctx->progress_total();
+        if (progress != entry.last_progress) {
+          entry.last_progress = progress;
+          entry.last_change = now;
+        } else if (now - entry.last_change >= entry.grace) {
+          reason = FailureReason::kStalled;
+        }
       }
-    }
-    if (reason != FailureReason::kNone) {
-      // One shot per job: record why, raise the cooperative flag so
-      // compute-bound ranks can observe it, then abort so blocked ranks
-      // release with WorldAborted. All non-blocking, so holding
-      // monitor_mutex_ here is fine.
-      failure_reason_.store(reason, std::memory_order_release);
-      monitor_armed_ = false;
-      world_->request_cancel();
-      world_->abort();
+      if (reason != FailureReason::kNone) {
+        // One shot per job: record why, raise the cooperative flag so
+        // compute-bound ranks can observe it, then abort so blocked ranks
+        // release with WorldAborted — this job's ranks only; siblings keep
+        // running. All non-blocking, so holding monitor_mutex_ is fine.
+        entry.reason.store(reason, std::memory_order_release);
+        entry.ctx->request_cancel();
+        entry.ctx->abort();
+        it = monitor_armed_.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
 }
 
-void Engine::arm_monitor(const JobOptions& options) {
-  failure_reason_.store(FailureReason::kNone, std::memory_order_relaxed);
+void Engine::arm_monitor(JobExec& exec, const JobOptions& options) {
   if (!options.any()) return;  // option-free jobs never touch the monitor
+  MonitorEntry& entry = exec.monitor;
   const auto now = std::chrono::steady_clock::now();
+  entry.ctx = &exec.ctx;
+  entry.has_deadline = options.deadline.count() > 0;
+  entry.deadline = now + options.deadline;
+  entry.cancel = options.cancel;
+  entry.grace = options.watchdog_grace;
+  entry.last_progress = exec.ctx.progress_total();
+  entry.last_change = now;
   {
     const std::scoped_lock lock(monitor_mutex_);
-    monitor_has_deadline_ = options.deadline.count() > 0;
-    monitor_deadline_ = now + options.deadline;
-    monitor_cancel_ = options.cancel;
-    monitor_grace_ = options.watchdog_grace;
-    monitor_last_progress_ = world_->progress_total();
-    monitor_last_change_ = now;
-    monitor_armed_ = true;
+    monitor_armed_.push_back(&entry);
   }
   monitor_cv_.notify_all();
 }
 
-void Engine::disarm_monitor() {
+void Engine::disarm_monitor(JobExec& exec) {
   const std::scoped_lock lock(monitor_mutex_);
   // Holding monitor_mutex_ guarantees the monitor is not mid-decision:
   // after this returns it can never abort on the finished job's behalf
-  // (which would otherwise leak into the next epoch).
-  monitor_armed_ = false;
-  monitor_cancel_ = CancelToken{};
+  // (which would otherwise leak into a later job on the same ranks). The
+  // entry may already be gone — the monitor erases it when it fires.
+  const auto it =
+      std::find(monitor_armed_.begin(), monitor_armed_.end(), &exec.monitor);
+  if (it != monitor_armed_.end()) monitor_armed_.erase(it);
+}
+
+void Engine::acquire_ranks(const std::vector<int>& ranks) {
+  std::unique_lock lock(ctrl_mutex_);
+  free_cv_.wait(lock, [&] {
+    if (shutdown_) return true;
+    for (const int r : ranks) {
+      if (rank_busy_[static_cast<std::size_t>(r)]) return false;
+    }
+    return true;
+  });
+  if (shutdown_) {
+    throw std::logic_error("Engine::run: engine is shutting down");
+  }
+  for (const int r : ranks) rank_busy_[static_cast<std::size_t>(r)] = true;
+}
+
+bool Engine::try_acquire_ranks(const std::vector<int>& ranks) {
+  const std::scoped_lock lock(ctrl_mutex_);
+  if (shutdown_) return false;
+  for (const int r : ranks) {
+    if (rank_busy_[static_cast<std::size_t>(r)]) return false;
+  }
+  for (const int r : ranks) rank_busy_[static_cast<std::size_t>(r)] = true;
+  return true;
+}
+
+void Engine::release_ranks(const std::vector<int>& ranks) {
+  {
+    const std::scoped_lock lock(ctrl_mutex_);
+    for (const int r : ranks) rank_busy_[static_cast<std::size_t>(r)] = false;
+  }
+  free_cv_.notify_all();
+}
+
+TraceSnapshot Engine::execute(JobExec& exec,
+                              const std::function<void(Process&)>& body,
+                              const JobOptions& options) {
+  // Fresh job epoch over this rank set: re-armed barrier, emptied
+  // mailboxes, zeroed trace, cleared abort/cancel. Siblings untouched.
+  exec.ctx.begin();
+  exec.body = &body;
+  const int nprocs = exec.ctx.nprocs();
+  {
+    const std::scoped_lock lock(done_mutex_);
+    exec.remaining = nprocs;
+  }
+  // Arm before the ranks start so the full job is covered; the monitor can
+  // only abort *this* job's context, which begin() just reset.
+  arm_monitor(exec, options);
+  {
+    const std::scoped_lock lock(ctrl_mutex_);
+    if (shutdown_) {
+      // Ranks may already have exited; dispatching would hang the
+      // rendezvous forever. Unwind instead — nothing has started.
+      if (options.any()) disarm_monitor(exec);
+      throw std::logic_error("Engine::run: engine is shutting down");
+    }
+    for (int i = 0; i < nprocs; ++i) {
+      auto& slot = assign_[static_cast<std::size_t>(exec.ctx.physical(i))];
+      ++slot.ticket;
+      slot.logical = i;
+      slot.exec = &exec;
+    }
+  }
+  ctrl_cv_.notify_all();
+  {
+    std::unique_lock lock(done_mutex_);
+    done_cv_.wait(lock, [&] { return exec.remaining == 0; });
+  }
+  if (options.any()) disarm_monitor(exec);
+  jobs_.fetch_add(1, std::memory_order_relaxed);
+
+  // Prefer reporting a root-cause exception over secondary WorldAborted
+  // ones (same policy as the one-shot spmd_run).
+  std::exception_ptr first_aborted;
+  for (const auto& failure : exec.failures) {
+    if (!failure) continue;
+    try {
+      std::rethrow_exception(failure);
+    } catch (const WorldAborted&) {
+      if (!first_aborted) first_aborted = failure;
+    } catch (...) {
+      std::rethrow_exception(failure);
+    }
+  }
+  if (first_aborted) {
+    // Every failure is a secondary WorldAborted: if the monitor initiated
+    // the abort, surface its typed reason instead. (A job whose every rank
+    // returned cleanly despite a late monitor abort reports success below —
+    // cancellation raced completion and completion won.)
+    switch (exec.monitor.reason.load(std::memory_order_acquire)) {
+      case FailureReason::kCancelled:
+        throw JobCancelled{};
+      case FailureReason::kDeadline:
+        throw JobDeadlineExceeded{};
+      case FailureReason::kStalled:
+        throw JobStalled{};
+      case FailureReason::kNone:
+        break;
+    }
+    std::rethrow_exception(first_aborted);
+  }
+
+  // The job trace is already job-shaped: indexed by logical rank, sized to
+  // the job width.
+  return exec.ctx.trace().snapshot();
 }
 
 namespace {
@@ -198,82 +354,49 @@ TraceSnapshot Engine::run_job(int nprocs,
                               const std::function<void(Process&)>& body,
                               const JobOptions& options) {
   validate_submission(nprocs, width_, this, t_rank_engine);
-  const std::scoped_lock submit(submit_mutex_);
-  return run_locked(nprocs, body, options);
+  std::vector<int> ranks(static_cast<std::size_t>(nprocs));
+  std::iota(ranks.begin(), ranks.end(), 0);
+  return run_on_ranks(ranks, body, options);
+}
+
+TraceSnapshot Engine::run_on_ranks(const std::vector<int>& ranks,
+                                   const std::function<void(Process&)>& body,
+                                   const JobOptions& options) {
+  if (t_rank_engine == this) {
+    throw std::logic_error(
+        "Engine::run called from one of this engine's own rank threads (a "
+        "job cannot submit to its own engine); use spmd_run, which falls "
+        "back to a cold world");
+  }
+  const InflightGuard guard(*this);
+  JobExec exec(*world_, ranks);  // validates the rank set
+  acquire_ranks(ranks);
+  try {
+    TraceSnapshot out = execute(exec, body, options);
+    release_ranks(ranks);
+    return out;
+  } catch (...) {
+    release_ranks(ranks);
+    throw;
+  }
 }
 
 bool Engine::try_run_job(int nprocs, const std::function<void(Process&)>& body,
                          TraceSnapshot& out) {
   validate_submission(nprocs, width_, this, t_rank_engine);
-  std::unique_lock submit(submit_mutex_, std::try_to_lock);
-  if (!submit.owns_lock()) return false;
-  out = run_locked(nprocs, body, JobOptions{});
+  const InflightGuard guard(*this);
+  std::vector<int> ranks(static_cast<std::size_t>(nprocs));
+  std::iota(ranks.begin(), ranks.end(), 0);
+  if (!try_acquire_ranks(ranks)) return false;
+  JobExec exec(*world_, ranks);
+  try {
+    out = execute(exec, body, JobOptions{});
+  } catch (...) {
+    release_ranks(ranks);
+    throw;
+  }
+  release_ranks(ranks);
   return true;
-}
-
-TraceSnapshot Engine::run_locked(int nprocs,
-                                 const std::function<void(Process&)>& body,
-                                 const JobOptions& options) {
-  // Fresh epoch: re-armed barrier, emptied mailboxes, zeroed trace — and a
-  // cleared abort/cancel if the previous job failed.
-  world_->begin_epoch(nprocs);
-  std::fill(failures_.begin(), failures_.end(), nullptr);
-  {
-    const std::scoped_lock lock(done_mutex_);
-    done_ = 0;
-  }
-  // Arm before the ranks start so the full job is covered; the monitor can
-  // only abort *this* epoch's world state, which begin_epoch just reset.
-  arm_monitor(options);
-  {
-    const std::scoped_lock lock(ctrl_mutex_);
-    active_ = nprocs;
-    body_ = &body;
-    ++epoch_;
-  }
-  ctrl_cv_.notify_all();
-  {
-    std::unique_lock lock(done_mutex_);
-    done_cv_.wait(lock, [&] { return done_ == nprocs; });
-  }
-  disarm_monitor();
-  jobs_.fetch_add(1, std::memory_order_relaxed);
-
-  // Prefer reporting a root-cause exception over secondary WorldAborted
-  // ones (same policy as the one-shot spmd_run).
-  std::exception_ptr first_aborted;
-  for (const auto& failure : failures_) {
-    if (!failure) continue;
-    try {
-      std::rethrow_exception(failure);
-    } catch (const WorldAborted&) {
-      if (!first_aborted) first_aborted = failure;
-    } catch (...) {
-      std::rethrow_exception(failure);
-    }
-  }
-  if (first_aborted) {
-    // Every failure is a secondary WorldAborted: if the monitor initiated
-    // the abort, surface its typed reason instead. (A job whose every rank
-    // returned cleanly despite a late monitor abort reports success below —
-    // cancellation raced completion and completion won.)
-    switch (failure_reason_.load(std::memory_order_acquire)) {
-      case FailureReason::kCancelled:
-        throw JobCancelled{};
-      case FailureReason::kDeadline:
-        throw JobDeadlineExceeded{};
-      case FailureReason::kStalled:
-        throw JobStalled{};
-      case FailureReason::kNone:
-        break;
-    }
-    std::rethrow_exception(first_aborted);
-  }
-
-  TraceSnapshot snapshot = world_->trace().snapshot();
-  // Per-sender counters are sized to the engine width; report the job's.
-  snapshot.sent_bytes_by_rank.resize(static_cast<std::size_t>(nprocs));
-  return snapshot;
 }
 
 std::shared_ptr<Engine> process_engine(int min_width) {

@@ -94,27 +94,44 @@ class Received {
 
 class Process {
  public:
-  Process(World& world, int rank) : world_(world), rank_(rank) {
+  Process(World& world, int rank) : world_(world), rank_(rank), prank_(rank) {
     assert(rank >= 0 && rank < world.size());
+  }
+  /// Bind to one job of a space-shared World: this rank's *logical* rank
+  /// is `rank` in [0, job.nprocs()); the physical rank it occupies is
+  /// job.physical(rank). All communication, the barrier, the trace and
+  /// cancellation are scoped to the job, so the body observes exactly
+  /// what it would observe running solo on ranks [0, nprocs).
+  Process(JobContext& job, int rank)
+      : world_(job.world()), job_(&job), rank_(rank), prank_(job.physical(rank)) {
+    assert(rank >= 0 && rank < job.nprocs());
   }
   Process(const Process&) = delete;
   Process& operator=(const Process&) = delete;
 
   [[nodiscard]] int rank() const noexcept { return rank_; }
   /// Ranks participating in this SPMD computation. On an engine-backed
-  /// World this is the *job's* width (world().active_size()), which may be
-  /// smaller than the engine capacity world().size().
-  [[nodiscard]] int size() const noexcept { return world_.active_size(); }
+  /// World this is the *job's* width, which may be smaller than the
+  /// engine capacity world().size().
+  [[nodiscard]] int size() const noexcept {
+    return job_ != nullptr ? job_->nprocs() : world_.active_size();
+  }
   [[nodiscard]] World& world() noexcept { return world_; }
+  /// This computation's communication trace: the job's own tracer on a
+  /// space-shared World (concurrent jobs never mix counters), the World's
+  /// otherwise.
+  [[nodiscard]] CommTrace& trace() noexcept {
+    return job_ != nullptr ? job_->trace() : world_.trace();
+  }
   [[nodiscard]] bool is_root(int root = 0) const noexcept { return rank_ == root; }
 
   /// True when this job's cancellation was requested (the submitter's
   /// CancelToken fired, the deadline/watchdog tripped, or another rank
-  /// called world().request_cancel()). Compute-heavy bodies should poll
-  /// this between phases; blocked communication is released separately by
-  /// the accompanying abort.
+  /// called request_cancel()). Compute-heavy bodies should poll this
+  /// between phases; blocked communication is released separately by the
+  /// accompanying abort.
   [[nodiscard]] bool cancelled() const noexcept {
-    return world_.cancel_requested();
+    return job_ != nullptr ? job_->cancel_requested() : world_.cancel_requested();
   }
   /// Poll-and-exit helper: throws JobCancelled when cancelled() is true,
   /// which marks the job as cancelled at the submitter.
@@ -151,7 +168,7 @@ class Process {
   /// Block until a message matching (source, tag) arrives; returns payload.
   template <Wire T>
   std::vector<T> recv(int source, int tag) {
-    return unpack_traced<T>(world_.mailbox(rank_).pop(source, tag).payload);
+    return unpack_traced<T>(recv_envelope(source, tag).payload);
   }
   /// Receive a message known to carry exactly one value.
   template <Wire T>
@@ -163,7 +180,7 @@ class Process {
   /// Receive returning the actual source (useful with kAnySource).
   template <Wire T>
   std::pair<int, std::vector<T>> recv_any(int source, int tag) {
-    Envelope env = world_.mailbox(rank_).pop(source, tag);
+    Envelope env = recv_envelope(source, tag);
     const int src = env.source;
     return {src, unpack_traced<T>(env.payload)};
   }
@@ -171,15 +188,15 @@ class Process {
   /// vector); returns the element count.
   template <Wire T>
   std::size_t recv_into(int source, int tag, std::span<T> out) {
-    const Envelope env = world_.mailbox(rank_).pop(source, tag);
-    world_.trace().count_copy(env.payload.size());
+    const Envelope env = recv_envelope(source, tag);
+    trace().count_copy(env.payload.size());
     return unpack_into<T>(env.payload, out);
   }
   /// Receive borrowing the payload buffer (zero copies); the returned
   /// object owns the buffer and exposes a typed read-only view.
   template <Wire T>
   Received<T> recv_borrow(int source, int tag) {
-    return Received<T>(world_.mailbox(rank_).pop(source, tag));
+    return Received<T>(recv_envelope(source, tag));
   }
 
   /// Combined send+recv (safe in any order because sends never block).
@@ -192,14 +209,17 @@ class Process {
 
   // --- collectives ----------------------------------------------------------
 
-  /// Barrier synchronization across all ranks.
+  /// Barrier synchronization across all ranks of this job.
   void barrier() {
-    world_.trace().count_op(Op::kBarrier);
-    (void)fault_point(FaultSite::kBarrier, rank_);
+    trace().count_op(Op::kBarrier);
+    // Fault sites key on the *physical* rank: each physical rank belongs to
+    // one job at a time, so its per-(site, rank) op-counter stream stays
+    // deterministic even when concurrent jobs interleave arbitrarily.
+    (void)fault_point(FaultSite::kBarrier, prank_);
     // Arrival is this rank's heartbeat: a rank *waiting* for stragglers has
     // done its part; only ranks that never arrive read as stalled.
-    world_.bump_progress(rank_);
-    world_.barrier().arrive_and_wait();
+    world_.bump_progress(prank_);
+    (job_ != nullptr ? job_->barrier() : world_.barrier()).arrive_and_wait();
   }
 
   /// Binomial-tree broadcast of a buffer from `root`. On non-root ranks the
@@ -209,7 +229,7 @@ class Process {
   /// so total physical copies are O(p · n) instead of O(p · n · depth).
   template <Wire T>
   void broadcast(std::vector<T>& data, int root = 0) {
-    world_.trace().count_op(Op::kBroadcast);
+    trace().count_op(Op::kBroadcast);
     collective_entry();
     const int tag = next_internal_tag();
     broadcast_impl(data, root, tag);
@@ -227,7 +247,7 @@ class Process {
   /// receive an empty result.
   template <Wire T>
   std::vector<std::vector<T>> gather_parts(std::span<const T> local, int root = 0) {
-    world_.trace().count_op(Op::kGather);
+    trace().count_op(Op::kGather);
     collective_entry();
     const int tag = next_internal_tag();
     return gather_parts_impl(local, root, tag);
@@ -246,7 +266,7 @@ class Process {
   /// separate size exchange is needed.
   template <Wire T>
   std::vector<std::vector<T>> allgather_parts(std::span<const T> local) {
-    world_.trace().count_op(Op::kAllgather);
+    trace().count_op(Op::kAllgather);
     collective_entry();
     const int tag = next_internal_tag();
     auto blocks = ((size() & (size() - 1)) == 0)
@@ -255,7 +275,7 @@ class Process {
     std::vector<std::vector<T>> out;
     out.reserve(blocks.size());
     for (auto& b : blocks) {
-      world_.trace().count_copy(b.size());
+      trace().count_copy(b.size());
       out.push_back(unpack<T>(std::span<const std::byte>(b)));
     }
     return out;
@@ -275,7 +295,7 @@ class Process {
   /// O(log p) subtree bundles instead of p-1 individual messages.
   template <Wire T>
   std::vector<T> scatter(const std::vector<std::vector<T>>& parts, int root = 0) {
-    world_.trace().count_op(Op::kScatter);
+    trace().count_op(Op::kScatter);
     collective_entry();
     const int tag = next_internal_tag();
     return scatter_impl(parts, root, tag);
@@ -285,7 +305,7 @@ class Process {
   /// combination order is deterministic for a given world size.
   template <Wire T, typename BinaryOp>
   T reduce(const T& local, BinaryOp op, int root = 0) {
-    world_.trace().count_op(Op::kReduce);
+    trace().count_op(Op::kReduce);
     collective_entry();
     const int tag = next_internal_tag();
     return reduce_impl(local, op, root, tag);
@@ -295,7 +315,7 @@ class Process {
   /// doubling (the paper's Fig 9); otherwise reduce-to-root plus broadcast.
   template <Wire T, typename BinaryOp>
   T allreduce(const T& local, BinaryOp op) {
-    world_.trace().count_op(Op::kAllreduce);
+    trace().count_op(Op::kAllreduce);
     collective_entry();
     const int p = size();
     if ((p & (p - 1)) == 0) {
@@ -324,7 +344,7 @@ class Process {
   /// Both association orders are deterministic for a given world size.
   template <Wire T, typename BinaryOp>
   std::vector<T> allreduce_vec(std::span<const T> local, BinaryOp op) {
-    world_.trace().count_op(Op::kAllreduce);
+    trace().count_op(Op::kAllreduce);
     collective_entry();
     const int p = size();
     if (p == 1) return {local.begin(), local.end()};
@@ -347,7 +367,7 @@ class Process {
   /// as payloads — no serialization copy.
   template <Wire T>
   std::vector<std::vector<T>> alltoall(std::vector<std::vector<T>> parts) {
-    world_.trace().count_op(Op::kAlltoall);
+    trace().count_op(Op::kAlltoall);
     collective_entry();
     assert(static_cast<int>(parts.size()) == size());
     const int tag = next_internal_tag();
@@ -370,7 +390,7 @@ class Process {
   /// receives op(init, local_0, ..., local_{r-1}).
   template <Wire T, typename BinaryOp>
   T exscan(const T& local, BinaryOp op, const T& init = T{}) {
-    world_.trace().count_op(Op::kScan);
+    trace().count_op(Op::kScan);
     collective_entry();
     const int tag = next_internal_tag();
     T acc = init;
@@ -386,34 +406,43 @@ class Process {
   /// Vectors at or above this byte size take the ring allreduce path.
   static constexpr std::size_t kRingAllreduceBytes = 2048;
 
-  /// Fault-injection site shared by every collective's entry.
-  void collective_entry() { (void)fault_point(FaultSite::kCollective, rank_); }
+  /// Fault-injection site shared by every collective's entry (physical
+  /// rank: see the barrier note on determinism under space-sharing).
+  void collective_entry() { (void)fault_point(FaultSite::kCollective, prank_); }
+
+  /// Physical rank occupied by logical rank `r` of this computation.
+  [[nodiscard]] int physical(int r) const noexcept {
+    return job_ != nullptr ? job_->physical(r) : r;
+  }
 
   // Raw send with tracing; used by both user sends and collectives.
+  // `dest` is a logical rank; envelopes travel with *physical* source ranks
+  // (mailbox lanes are per physical sender) and recv_envelope translates
+  // back, so job bodies only ever observe logical ranks.
   void send_raw(int dest, int tag, Payload payload) {
-    world_.trace().count_message(rank_, payload.size());
+    trace().count_message(rank_, payload.size());
     // Sends never block, so a completed push is sender progress (heartbeat
     // for the watchdog) even when the matching receive is far away.
-    world_.bump_progress(rank_);
-    world_.mailbox(dest).push(Envelope{rank_, tag, std::move(payload)});
+    world_.bump_progress(prank_);
+    world_.mailbox(physical(dest)).push(Envelope{prank_, tag, std::move(payload)});
   }
 
   /// Serialize with physical-copy accounting.
   template <Wire T>
   Payload pack_traced(std::span<const T> data) {
-    world_.trace().count_copy(data.size_bytes());
+    trace().count_copy(data.size_bytes());
     return pack_payload(data);
   }
   /// Deserialize with physical-copy accounting.
   template <Wire T>
   std::vector<T> unpack_traced(const Payload& payload) {
-    world_.trace().count_copy(payload.size());
+    trace().count_copy(payload.size());
     return unpack<T>(payload);
   }
 
   template <Wire T>
   std::vector<T> recv_internal(int source, int tag) {
-    return unpack_traced<T>(world_.mailbox(rank_).pop(source, tag).payload);
+    return unpack_traced<T>(recv_envelope(source, tag).payload);
   }
   template <Wire T>
   T recv_internal_value(int source, int tag) {
@@ -421,8 +450,16 @@ class Process {
     assert(v.size() == 1);
     return v.front();
   }
+  /// Pop from this rank's (physical) mailbox with logical<->physical
+  /// translation: a non-wildcard `source` selects the lane of its physical
+  /// rank, and the returned envelope's source is rewritten back to the
+  /// sender's logical rank (wildcard receives can only match same-job
+  /// senders — nobody else pushes into this job's mailboxes).
   Envelope recv_envelope(int source, int tag) {
-    return world_.mailbox(rank_).pop(source, tag);
+    const int lane = source >= 0 ? physical(source) : source;
+    Envelope env = world_.mailbox(prank_).pop(lane, tag);
+    if (job_ != nullptr && env.source >= 0) env.source = job_->logical(env.source);
+    return env;
   }
 
   /// Internal tags are negative and advance per collective call; SPMD order
@@ -570,7 +607,7 @@ class Process {
       const auto mine = segment(recv_seg);
       assert(view.size() == mine.size());
       std::memcpy(mine.data(), view.data(), view.size() * sizeof(T));
-      world_.trace().count_copy(view.size() * sizeof(T));
+      trace().count_copy(view.size() * sizeof(T));
     }
     return acc;
   }
@@ -624,12 +661,12 @@ class Process {
         append_record(bundle, static_cast<std::uint64_t>(r),
                       blocks[static_cast<std::size_t>(r)]);
       }
-      world_.trace().count_copy(bundle.size());
+      trace().count_copy(bundle.size());
       send_raw(partner, tag, Payload::adopt(std::move(bundle)));
       const Envelope env = recv_envelope(partner, tag);
       for (const auto& block : parse_bundle(env.payload.bytes())) {
         const auto r = static_cast<std::size_t>(block.origin);
-        world_.trace().count_copy(block.bytes.size());
+        trace().count_copy(block.bytes.size());
         blocks[r].assign(block.bytes.begin(), block.bytes.end());
         held.push_back(static_cast<int>(r));
       }
@@ -651,12 +688,12 @@ class Process {
       std::vector<std::byte> bundle;
       append_record(bundle, static_cast<std::uint64_t>(send_origin),
                     blocks[static_cast<std::size_t>(send_origin)]);
-      world_.trace().count_copy(bundle.size());
+      trace().count_copy(bundle.size());
       send_raw(right, tag, Payload::adopt(std::move(bundle)));
       const Envelope env = recv_envelope(left, tag);
       for (const auto& block : parse_bundle(env.payload.bytes())) {
         const auto r = static_cast<std::size_t>(block.origin);
-        world_.trace().count_copy(block.bytes.size());
+        trace().count_copy(block.bytes.size());
         blocks[r].assign(block.bytes.begin(), block.bytes.end());
       }
     }
@@ -687,7 +724,7 @@ class Process {
       subtree.resize(static_cast<std::size_t>(p));
       for (int v = 1; v < p; ++v) {
         const auto dest = static_cast<std::size_t>((v + root) % p);
-        world_.trace().count_copy(parts[dest].size() * sizeof(T));
+        trace().count_copy(parts[dest].size() * sizeof(T));
         subtree[static_cast<std::size_t>(v)] =
             pack(std::span<const T>(parts[dest]));
       }
@@ -701,7 +738,7 @@ class Process {
         const auto v = static_cast<int>(block.origin);
         assert(v >= vrank && v < vrank + static_cast<int>(subtree.size()));
         if (v == vrank) {
-          world_.trace().count_copy(block.bytes.size());
+          trace().count_copy(block.bytes.size());
           mine = unpack<T>(block.bytes);
         } else {
           subtree[static_cast<std::size_t>(v - vrank)].assign(block.bytes.begin(),
@@ -720,7 +757,7 @@ class Process {
                       subtree[static_cast<std::size_t>(v - vrank)]);
         subtree[static_cast<std::size_t>(v - vrank)].clear();
       }
-      world_.trace().count_copy(bundle.size());
+      trace().count_copy(bundle.size());
       send_raw((child + root) % p, tag, Payload::adopt(std::move(bundle)));
     }
     return mine;
@@ -737,7 +774,9 @@ class Process {
   }
 
   World& world_;
-  int rank_;
+  JobContext* job_ = nullptr;  ///< non-null when bound to a space-shared job
+  int rank_;                   ///< logical rank within the computation
+  int prank_;                  ///< physical rank (== rank_ without a job)
   std::uint32_t collective_seq_ = 0;
 };
 

@@ -21,13 +21,16 @@
 // process-wide engine survives the abort and the next call runs clean.
 //
 // Thread-safety: spmd_run blocks the calling thread until every rank joins.
-// Only one run at a time executes on the warm engine: a call that finds the
-// engine busy — a concurrent spmd_run from another thread, or a call issued
-// (possibly through a thread pool) from work the in-flight job depends on —
-// falls back to a cold one-shot world, exactly the historical behavior, so
-// interdependent runs can never deadlock on engine serialization. A nested
-// spmd_run — called from inside a rank's body — likewise runs on a cold
-// world. The body runs concurrently on N threads, each owning its
+// Warm runs go through the process-wide Scheduler (scheduler.hpp), which
+// space-shares the engine: two concurrent narrow spmd_run calls run side by
+// side on disjoint rank sets when the engine is wide enough. The scheduler
+// path is admit-now-or-never — a call that cannot be admitted immediately
+// (ranks busy, or jobs already queued ahead of it) falls back to a cold
+// one-shot world, exactly the historical behavior, so interdependent runs —
+// e.g. a call issued (possibly through a thread pool) from work an
+// in-flight job depends on — can never deadlock on scheduler queueing. A
+// nested spmd_run — called from inside a rank's body — likewise runs on a
+// cold world. The body runs concurrently on N threads, each owning its
 // Process, its grids and its plans. State captured by reference into the
 // body is shared across ranks — share only immutable inputs (problem
 // configs, topologies) or rank-indexed slots (as spmd_collect does for
@@ -42,6 +45,7 @@
 
 #include "mpl/engine.hpp"
 #include "mpl/process.hpp"
+#include "mpl/scheduler.hpp"
 #include "mpl/world.hpp"
 
 namespace ppa::mpl {
@@ -87,18 +91,20 @@ TraceSnapshot spmd_run_cold(int nprocs, Body&& body) {
 }
 
 /// Run `body(process)` on `nprocs` ranks; returns the world's communication
-/// trace for the run. Executes as one job on the warm process-wide engine
-/// when it is idle; a nested call from inside an SPMD body, or a call that
-/// finds the engine busy with another job, falls back to a cold one-shot
-/// world (see header notes — blocking on a busy engine could deadlock when
-/// the in-flight job transitively depends on this run).
+/// trace for the run. Executes as one job on the warm process-wide engine —
+/// via the process scheduler's non-queueing admission, so concurrent narrow
+/// runs space-share the engine — when it can be admitted immediately; a
+/// nested call from inside an SPMD body, or a call that cannot get ranks
+/// right now, falls back to a cold one-shot world (see header notes —
+/// queueing on a busy engine could deadlock when the in-flight job
+/// transitively depends on this run).
 template <typename Body>
 TraceSnapshot spmd_run(int nprocs, Body&& body) {
   if (!on_engine_rank_thread()) {
-    const auto engine = process_engine(nprocs);
+    const auto scheduler = process_scheduler(nprocs);
     TraceSnapshot out;
     const std::function<void(Process&)> fn([&body](Process& p) { body(p); });
-    if (engine->try_run_job(nprocs, fn, out)) return out;
+    if (scheduler->try_run_job(nprocs, fn, out)) return out;
   }
   return spmd_run_cold(nprocs, std::forward<Body>(body));
 }

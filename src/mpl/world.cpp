@@ -43,4 +43,45 @@ void World::abort() {
   for (auto& box : mailboxes_) box->abort();
 }
 
+JobContext::JobContext(World& world, std::vector<int> ranks)
+    : world_(world),
+      ranks_(std::move(ranks)),
+      inverse_(static_cast<std::size_t>(world.size()), -1),
+      barrier_(static_cast<int>(ranks_.size())),
+      trace_(static_cast<int>(ranks_.size())) {
+  if (ranks_.empty()) {
+    throw std::invalid_argument("JobContext: rank set must be non-empty");
+  }
+  for (std::size_t i = 0; i < ranks_.size(); ++i) {
+    const int r = ranks_[i];
+    if (r < 0 || r >= world.size()) {
+      throw std::invalid_argument("JobContext: rank outside the World");
+    }
+    if (inverse_[static_cast<std::size_t>(r)] != -1) {
+      throw std::invalid_argument("JobContext: duplicate rank in set");
+    }
+    inverse_[static_cast<std::size_t>(r)] = static_cast<int>(i);
+  }
+}
+
+void JobContext::begin() {
+  for (const int r : ranks_) world_.mailbox(r).reset();
+  barrier_.reset(nprocs());
+  trace_.reset();
+  aborted_.store(false, std::memory_order_relaxed);
+  cancel_requested_.store(false, std::memory_order_relaxed);
+}
+
+void JobContext::abort() {
+  aborted_.store(true, std::memory_order_relaxed);
+  barrier_.abort();
+  for (const int r : ranks_) world_.mailbox(r).abort();
+}
+
+std::uint64_t JobContext::progress_total() const noexcept {
+  std::uint64_t total = 0;
+  for (const int r : ranks_) total += world_.progress(r);
+  return total;
+}
+
 }  // namespace ppa::mpl

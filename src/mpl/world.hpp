@@ -20,6 +20,15 @@
 // primitive (the engine calls it between jobs). A job may use fewer ranks
 // than the World holds: active_size() is the job's width, size() the
 // capacity.
+//
+// Concurrent disjoint jobs: a JobContext scopes everything that used to be
+// World-global epoch state — barrier, trace, abort and cancel flags — to
+// one job's *rank set*, so two jobs on disjoint rank sets of the same World
+// can run side by side (the scheduler's space-sharing). Mailboxes stay
+// per-physical-rank (a rank belongs to at most one job at a time); the
+// Process bound to a JobContext translates the job's logical ranks 0..np-1
+// to the physical ranks it occupies, so a job body observes exactly the
+// same world it would see running solo on ranks [0, np).
 #pragma once
 
 #include <atomic>
@@ -92,6 +101,12 @@ class World {
     progress_[static_cast<std::size_t>(rank)].value.fetch_add(
         1, std::memory_order_relaxed);
   }
+  /// One rank's heartbeat (the scheduler's per-job watchdog sums these
+  /// over a job's rank set only).
+  [[nodiscard]] std::uint64_t progress(int rank) const noexcept {
+    return progress_[static_cast<std::size_t>(rank)].value.load(
+        std::memory_order_relaxed);
+  }
   /// Sum of all per-rank heartbeats; unchanged across a watchdog grace
   /// period means no rank is making progress.
   [[nodiscard]] std::uint64_t progress_total() const noexcept {
@@ -116,6 +131,81 @@ class World {
   std::vector<PaddedCounter> progress_;  ///< one per rank; see bump_progress
   AbortableBarrier barrier_;
   CommTrace trace_;  ///< sized for per-sender accounting; see world.cpp
+  std::atomic<bool> aborted_{false};
+  std::atomic<bool> cancel_requested_{false};
+};
+
+/// Per-job state for one computation over a *subset* of a World's ranks,
+/// enabling concurrent disjoint-rank jobs on one World. Owns the job's
+/// barrier (sized to the job width), its communication trace (indexed by
+/// the job's logical ranks), and its abort/cancel flags; abort() tears
+/// down only this job — its barrier and its ranks' mailboxes — leaving
+/// sibling jobs on the other ranks untouched.
+///
+/// Thread-safety: begin() and the constructor must run while no thread is
+/// inside a primitive of any of this context's ranks (the engine admits a
+/// job only onto parked ranks). abort(), request_cancel() and the const
+/// accessors are safe from any thread; two contexts over disjoint rank
+/// sets never touch the same mutable state.
+class JobContext {
+ public:
+  /// Bind the physical `ranks` (distinct, each in [0, world.size())) of
+  /// `world` as logical ranks 0..ranks.size()-1 of this job. The World
+  /// must outlive the context.
+  JobContext(World& world, std::vector<int> ranks);
+  JobContext(const JobContext&) = delete;
+  JobContext& operator=(const JobContext&) = delete;
+
+  [[nodiscard]] World& world() noexcept { return world_; }
+  /// Job width (number of ranks in the set).
+  [[nodiscard]] int nprocs() const noexcept {
+    return static_cast<int>(ranks_.size());
+  }
+  /// Physical rank occupied by logical rank `logical`.
+  [[nodiscard]] int physical(int logical) const noexcept {
+    return ranks_[static_cast<std::size_t>(logical)];
+  }
+  /// Logical rank of physical rank `rank`, or -1 when outside the set.
+  [[nodiscard]] int logical(int rank) const noexcept {
+    return inverse_[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] const std::vector<int>& ranks() const noexcept { return ranks_; }
+
+  [[nodiscard]] AbortableBarrier& barrier() noexcept { return barrier_; }
+  [[nodiscard]] CommTrace& trace() noexcept { return trace_; }
+
+  /// Open this job's epoch: empty and re-arm the rank set's mailboxes,
+  /// zero the trace, clear abort/cancel, re-arm the barrier. Only this
+  /// context's ranks are touched — concurrent sibling jobs are unaffected.
+  void begin();
+
+  /// Tear down *this job only*: release every rank of the set blocked in a
+  /// recv/barrier with WorldAborted. Idempotent, never blocks; sibling
+  /// jobs on disjoint ranks keep running.
+  void abort();
+  [[nodiscard]] bool aborted() const noexcept {
+    return aborted_.load(std::memory_order_relaxed);
+  }
+
+  /// Cooperative cancellation for this job (Process::cancelled()).
+  void request_cancel() noexcept {
+    cancel_requested_.store(true, std::memory_order_release);
+  }
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return cancel_requested_.load(std::memory_order_acquire);
+  }
+
+  /// Sum of the World heartbeats of this job's ranks only — the per-job
+  /// watchdog signal (a stalled sibling job must not mask this one's
+  /// progress, and vice versa).
+  [[nodiscard]] std::uint64_t progress_total() const noexcept;
+
+ private:
+  World& world_;
+  std::vector<int> ranks_;    ///< logical -> physical, ascending
+  std::vector<int> inverse_;  ///< physical -> logical, -1 outside the set
+  AbortableBarrier barrier_;
+  CommTrace trace_;  ///< indexed by logical rank
   std::atomic<bool> aborted_{false};
   std::atomic<bool> cancel_requested_{false};
 };
