@@ -28,6 +28,7 @@ echo "==> examples (smoke: each must print SELF-CHECK ... ok and exit 0)"
 (cd "$BUILD_DIR" && ./quickstart)
 (cd "$BUILD_DIR" && ./poisson_demo)
 (cd "$BUILD_DIR" && ./stream_demo)
+(cd "$BUILD_DIR" && ./sparse_advection_demo)
 
 echo "==> substrate microbenchmarks (smoke)"
 (cd "$BUILD_DIR" && PPA_BENCH_SMOKE=1 ./micro_collectives)
@@ -35,6 +36,9 @@ echo "==> substrate microbenchmarks (smoke)"
 
 echo "==> mesh halo-exchange ablation (smoke)"
 (cd "$BUILD_DIR" && PPA_BENCH_SMOKE=1 ./ablation_mesh)
+
+echo "==> multi-block mesh ablation (smoke)"
+(cd "$BUILD_DIR" && PPA_BENCH_SMOKE=1 ./ablation_blocks)
 
 echo "==> task-runtime ablation (smoke)"
 (cd "$BUILD_DIR" && PPA_BENCH_SMOKE=1 ./ablation_taskdc)
@@ -57,6 +61,10 @@ test -s "$BUILD_DIR/BENCH_substrate.json" || {
 }
 test -s "$BUILD_DIR/BENCH_mesh.json" || {
   echo "missing $BUILD_DIR/BENCH_mesh.json" >&2
+  exit 1
+}
+test -s "$BUILD_DIR/BENCH_blocks.json" || {
+  echo "missing $BUILD_DIR/BENCH_blocks.json" >&2
   exit 1
 }
 test -s "$BUILD_DIR/BENCH_taskdc.json" || {

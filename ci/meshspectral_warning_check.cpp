@@ -15,6 +15,10 @@ template class Grid2D<float>;
 template class Grid3D<double>;
 template class RowDistributed<double>;
 template class ColDistributed<double>;
+template class MeshBlock<double>;
+template class MeshBlock<float>;
+template class BlockSet<double>;
+template class BlockSet<float>;
 
 namespace {
 
@@ -67,6 +71,31 @@ namespace {
   (void)reduce_sum(p, g2);
   (void)reduce_max(p, g2, 0.0);
   (void)gather_matrix(p, rows);
+
+  // Multi-block substrate: block set, batched/sparse exchange, block I/O.
+  BlockLayout2D layout;
+  layout.global_nx = layout.global_ny = 8;
+  layout.nbx = layout.nby = 2;
+  layout.periodic = Periodicity{true, false};
+  BlockSet<double> bs(layout, distribute_blocks_contiguous(4, 1), 0);
+  BlockSet<float> bsf(layout, distribute_blocks_round_robin(4, 1), 0,
+                      /*allocate_all=*/false);
+  bs.init_from_global([](std::size_t, std::size_t) { return 0.0; });
+  (void)bs.storage_bytes();
+  (void)bs.dense_bytes();
+  (void)bs.sweep_deallocate([](double) { return false; }, 2);
+  BlockExchangePlan2D bplan(
+      bs, BlockExchangeOptions{/*corners=*/true, 0, /*batched=*/true,
+                               /*sparse=*/true, 0.0});
+  bplan.begin_exchange_all(p, bs);
+  bplan.end_exchange_all(p, bs);
+  bplan.exchange_all(p, bs);
+  BlockExchangePlan2D fplan(bsf);
+  fplan.exchange_all(p, bsf);
+  (void)bplan.off_rank_message_count();
+  (void)bplan.local_copy_count();
+  (void)gather_blocks(p, bs);
+  scatter_blocks(p, Array2D<double>(8, 8), bs);
 }
 
 }  // namespace

@@ -1,0 +1,73 @@
+// examples/sparse_advection_demo.cpp
+//
+// Sparse block allocation on the multi-block mesh: a compactly-supported
+// tracer blob drifts across a periodic domain that is otherwise empty, so
+// only the meshblocks under the blob are ever materialized — blocks wake up
+// when the batched boundary exchange delivers their first non-zero halo
+// strip, and (in tracking mode) a deallocation sweep retires the wake.
+//
+// Runs as a smoke test: prints one SELF-CHECK line and exits nonzero on
+// failure. Checks: the sparse run is BITWISE identical to the dense run,
+// mass is conserved, and peak sparse storage is at least 2x below dense.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "apps/advect/sparse_advect.hpp"
+#include "support/image.hpp"
+
+int main() {
+  using namespace ppa;
+  app::SparseAdvectConfig cfg;
+  cfg.nx = cfg.ny = 192;
+  cfg.nbx = cfg.nby = 8;
+  cfg.steps = 160;
+  const int nprocs = 4;
+
+  app::SparseAdvectConfig dense_cfg = cfg;
+  dense_cfg.sparse = false;
+  const auto sparse = app::sparse_advect_spmd(cfg, nprocs);
+  const auto dense = app::sparse_advect_spmd(dense_cfg, nprocs);
+
+  const auto sflat = sparse.field.flat();
+  const auto dflat = dense.field.flat();
+  const bool bitwise =
+      std::equal(sflat.begin(), sflat.end(), dflat.begin(), dflat.end());
+  const double mass_err =
+      std::abs(sparse.mass - sparse.initial_mass) / sparse.initial_mass;
+
+  std::printf("sparse advection: %zu/%zu blocks allocated at the end\n",
+              sparse.allocated_blocks, sparse.total_blocks);
+  std::printf("mass: %.6f -> %.6f (rel err %.2e), sparse == dense: %s\n\n",
+              sparse.initial_mass, sparse.mass, mass_err,
+              bitwise ? "bitwise" : "DIFFERS");
+  std::printf("%s\n", img::ascii_field(sparse.field, 72).c_str());
+
+  // Tracking mode: the deallocation sweep retires blocks the blob (and the
+  // upwind scheme's slowly-spreading numerical wake) has left behind, so
+  // storage tracks the blob instead of accumulating every visited block.
+  app::SparseAdvectConfig track_cfg = cfg;
+  track_cfg.dealloc_threshold = 1e-6;
+  track_cfg.dealloc_patience = 1;
+  track_cfg.sweep_every = 4;
+  const auto tracked = app::sparse_advect_spmd(track_cfg, nprocs);
+  const double mem_ratio = static_cast<double>(dense.peak_storage_bytes) /
+                           static_cast<double>(tracked.peak_storage_bytes);
+  std::printf("with deallocation sweep: %zu blocks retired, %zu live at end\n",
+              tracked.retired_blocks, tracked.allocated_blocks);
+  std::printf("peak storage: tracked %.2f MiB vs dense %.2f MiB (%.2fx)\n",
+              static_cast<double>(tracked.peak_storage_bytes) /
+                  (1024.0 * 1024.0),
+              static_cast<double>(dense.peak_storage_bytes) / (1024.0 * 1024.0),
+              mem_ratio);
+
+  const bool ok = bitwise && mass_err < 1e-9 && mem_ratio >= 2.0 &&
+                  sparse.allocated_blocks < sparse.total_blocks &&
+                  tracked.allocated_blocks <= sparse.allocated_blocks;
+  std::printf(
+      "SELF-CHECK: sparse_advection_demo %s (bitwise=%d, mass_err=%.2e, "
+      "mem_ratio=%.2fx, retired=%zu)\n",
+      ok ? "ok" : "FAILED", bitwise ? 1 : 0, mass_err, mem_ratio,
+      tracked.retired_blocks);
+  return ok ? 0 : 1;
+}

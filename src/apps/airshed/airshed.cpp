@@ -29,6 +29,84 @@ Chem chem_rhs(const Chem& c, double j, double k, double kv_eff, double voc_cons)
           -voc_cons * voc_path};                    // d VOC
 }
 
+/// One cell of first-order upwind advection + central diffusion, applied
+/// componentwise. Shared by the single-grid and block transport sweeps —
+/// their bitwise parity rests on this being the same arithmetic.
+Chem advect_cell(const mesh::Grid2D<Chem>& c, std::ptrdiff_t i,
+                 std::ptrdiff_t j, double u, double v, double kdiff, double dt,
+                 double dx, double dy) {
+  const auto upwind_x = [&](auto pick) {
+    const double cm = pick(c(i - 1, j)), c0 = pick(c(i, j)),
+                 cp = pick(c(i + 1, j));
+    return u > 0.0 ? u * (c0 - cm) / dx : u * (cp - c0) / dx;
+  };
+  const auto upwind_y = [&](auto pick) {
+    const double cm = pick(c(i, j - 1)), c0 = pick(c(i, j)),
+                 cp = pick(c(i, j + 1));
+    return v > 0.0 ? v * (c0 - cm) / dy : v * (cp - c0) / dy;
+  };
+  const auto laplacian = [&](auto pick) {
+    return (pick(c(i - 1, j)) - 2.0 * pick(c(i, j)) + pick(c(i + 1, j))) /
+               (dx * dx) +
+           (pick(c(i, j - 1)) - 2.0 * pick(c(i, j)) + pick(c(i, j + 1))) /
+               (dy * dy);
+  };
+  const auto advance = [&](auto pick) {
+    return pick(c(i, j)) +
+           dt * (-upwind_x(pick) - upwind_y(pick) + kdiff * laplacian(pick));
+  };
+  Chem out;
+  out.no = advance([](const Chem& q) { return q.no; });
+  out.no2 = advance([](const Chem& q) { return q.no2; });
+  out.o3 = advance([](const Chem& q) { return q.o3; });
+  out.voc = advance([](const Chem& q) { return q.voc; });
+  return out;
+}
+
+/// One cell of RK4 chemistry (clipped); shared by both solvers.
+Chem chem_cell(const Chem& c0, double j, double k, double kv_eff, double vc,
+               double dt) {
+  const Chem k1 = chem_rhs(c0, j, k, kv_eff, vc);
+  const Chem k2 = chem_rhs(c0 + (0.5 * dt) * k1, j, k, kv_eff, vc);
+  const Chem k3 = chem_rhs(c0 + (0.5 * dt) * k2, j, k, kv_eff, vc);
+  const Chem k4 = chem_rhs(c0 + dt * k3, j, k, kv_eff, vc);
+  Chem next = c0 + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+  // Clip tiny negatives from the explicit integrator.
+  next.no = std::max(next.no, 0.0);
+  next.no2 = std::max(next.no2, 0.0);
+  next.o3 = std::max(next.o3, 0.0);
+  next.voc = std::max(next.voc, 0.0);
+  return next;
+}
+
+/// Daylight half-sine photolysis rate between 6h and 18h, zero at night.
+double diurnal_photolysis(const AirshedConfig& cfg, double hour) {
+  const double t = std::fmod(hour, 24.0);
+  if (t < 6.0 || t > 18.0) return 0.0;
+  return cfg.rate_j_max * std::sin(std::numbers::pi * (t - 6.0) / 12.0);
+}
+
+/// The background field and the two-hotspot emission map (shared so both
+/// solvers initialize identically).
+Chem background_cell(const AirshedConfig& cfg) {
+  return Chem{0.001, 0.002, cfg.background_o3, cfg.background_voc};
+}
+Chem emission_cell(const AirshedConfig& cfg, double dx, double dy,
+                   std::size_t gi, std::size_t gj) {
+  const double cx1 = 0.3 * cfg.lx, cy1 = 0.5 * cfg.ly;
+  const double cx2 = 0.6 * cfg.lx, cy2 = 0.35 * cfg.ly;
+  const double sigma = 0.06 * cfg.lx;
+  const double x = (static_cast<double>(gi) + 0.5) * dx;
+  const double y = (static_cast<double>(gj) + 0.5) * dy;
+  const double g1 = std::exp(-((x - cx1) * (x - cx1) + (y - cy1) * (y - cy1)) /
+                             (2.0 * sigma * sigma));
+  const double g2 = std::exp(-((x - cx2) * (x - cx2) + (y - cy2) * (y - cy2)) /
+                             (2.0 * sigma * sigma));
+  const double strength = g1 + 0.7 * g2;
+  return Chem{cfg.emission_no * strength, cfg.emission_no2 * strength, 0.0,
+              cfg.emission_voc * strength};
+}
+
 }  // namespace
 
 AirshedSim::AirshedSim(mpl::Process& p, const mpl::CartGrid2D& pgrid,
@@ -50,23 +128,11 @@ AirshedSim::AirshedSim(mpl::Process& p, const mpl::CartGrid2D& pgrid,
 }
 
 void AirshedSim::init_background() {
-  c_.init_from_global([&](std::size_t, std::size_t) {
-    return Chem{0.001, 0.002, cfg_.background_o3, cfg_.background_voc};
-  });
+  c_.init_from_global(
+      [&](std::size_t, std::size_t) { return background_cell(cfg_); });
   // Two urban hotspots (Gaussian footprints) emitting NO and some NO2.
-  const double cx1 = 0.3 * cfg_.lx, cy1 = 0.5 * cfg_.ly;
-  const double cx2 = 0.6 * cfg_.lx, cy2 = 0.35 * cfg_.ly;
-  const double sigma = 0.06 * cfg_.lx;
   emissions_.init_from_global([&](std::size_t gi, std::size_t gj) {
-    const double x = (static_cast<double>(gi) + 0.5) * dx_;
-    const double y = (static_cast<double>(gj) + 0.5) * dy_;
-    const double g1 = std::exp(-((x - cx1) * (x - cx1) + (y - cy1) * (y - cy1)) /
-                               (2.0 * sigma * sigma));
-    const double g2 = std::exp(-((x - cx2) * (x - cx2) + (y - cy2) * (y - cy2)) /
-                               (2.0 * sigma * sigma));
-    const double strength = g1 + 0.7 * g2;
-    return Chem{cfg_.emission_no * strength, cfg_.emission_no2 * strength, 0.0,
-                cfg_.emission_voc * strength};
+    return emission_cell(cfg_, dx_, dy_, gi, gj);
   });
 }
 
@@ -77,10 +143,7 @@ void AirshedSim::set_field(const std::function<Chem(std::size_t, std::size_t)>& 
 void AirshedSim::disable_emissions() { emissions_.fill(Chem{}); }
 
 double AirshedSim::photolysis_rate(double hour) const {
-  // Daylight half-sine between 6h and 18h, zero at night.
-  const double t = std::fmod(hour, 24.0);
-  if (t < 6.0 || t > 18.0) return 0.0;
-  return cfg_.rate_j_max * std::sin(std::numbers::pi * (t - 6.0) / 12.0);
+  return diurnal_photolysis(cfg_, hour);
 }
 
 void AirshedSim::transport_step() {
@@ -94,42 +157,10 @@ void AirshedSim::transport_step() {
   const double kdiff = cfg_.diffusion;
   const double dt = cfg_.dt;
 
-  const auto advect =
-      [&](const mesh::Grid2D<Chem>& c, std::ptrdiff_t i, std::ptrdiff_t j) {
-        // First-order upwind advection fluxes + central diffusion, applied
-        // componentwise.
-        const auto upwind_x = [&](auto pick) {
-          const double cm = pick(c(i - 1, j)), c0 = pick(c(i, j)),
-                       cp = pick(c(i + 1, j));
-          return u > 0.0 ? u * (c0 - cm) / dx_ : u * (cp - c0) / dx_;
-        };
-        const auto upwind_y = [&](auto pick) {
-          const double cm = pick(c(i, j - 1)), c0 = pick(c(i, j)),
-                       cp = pick(c(i, j + 1));
-          return v > 0.0 ? v * (c0 - cm) / dy_ : v * (cp - c0) / dy_;
-        };
-        const auto laplacian = [&](auto pick) {
-          return (pick(c(i - 1, j)) - 2.0 * pick(c(i, j)) + pick(c(i + 1, j))) /
-                     (dx_ * dx_) +
-                 (pick(c(i, j - 1)) - 2.0 * pick(c(i, j)) + pick(c(i, j + 1))) /
-                     (dy_ * dy_);
-        };
-        const auto advance = [&](auto pick) {
-          return pick(c(i, j)) +
-                 dt * (-upwind_x(pick) - upwind_y(pick) + kdiff * laplacian(pick));
-        };
-        Chem out;
-        out.no = advance([](const Chem& q) { return q.no; });
-        out.no2 = advance([](const Chem& q) { return q.no2; });
-        out.o3 = advance([](const Chem& q) { return q.o3; });
-        out.voc = advance([](const Chem& q) { return q.voc; });
-        return out;
-      };
-
   const mesh::Region2 all = mesh::interior_region(c_);
   const mesh::Region2 core = mesh::core_region(c_, 1, all);
   mesh::for_region(core, [&](std::ptrdiff_t i, std::ptrdiff_t j) {
-    cnew_(i, j) = advect(c_, i, j);
+    cnew_(i, j) = advect_cell(c_, i, j, u, v, kdiff, dt, dx_, dy_);
   });
 
   plan_.end_exchange(p_, c_);
@@ -151,7 +182,7 @@ void AirshedSim::transport_step() {
     }
   }
   mesh::for_rim(all, core, [&](std::ptrdiff_t i, std::ptrdiff_t j) {
-    cnew_(i, j) = advect(c_, i, j);
+    cnew_(i, j) = advect_cell(c_, i, j, u, v, kdiff, dt, dx_, dy_);
   });
 
   std::swap(c_, cnew_);
@@ -165,18 +196,7 @@ void AirshedSim::chemistry_step() {
   const double vc = cfg_.voc_consumption;
   const double dt = cfg_.dt;
   mesh::for_interior(c_, [&](std::ptrdiff_t i, std::ptrdiff_t jj) {
-    const Chem& c0 = c_(i, jj);
-    const Chem k1 = chem_rhs(c0, j, k, kv_eff, vc);
-    const Chem k2 = chem_rhs(c0 + (0.5 * dt) * k1, j, k, kv_eff, vc);
-    const Chem k3 = chem_rhs(c0 + (0.5 * dt) * k2, j, k, kv_eff, vc);
-    const Chem k4 = chem_rhs(c0 + dt * k3, j, k, kv_eff, vc);
-    Chem next = c0 + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
-    // Clip tiny negatives from the explicit integrator.
-    next.no = std::max(next.no, 0.0);
-    next.no2 = std::max(next.no2, 0.0);
-    next.o3 = std::max(next.o3, 0.0);
-    next.voc = std::max(next.voc, 0.0);
-    c_(i, jj) = next;
+    c_(i, jj) = chem_cell(c_(i, jj), j, k, kv_eff, vc, dt);
   });
 }
 
@@ -239,6 +259,189 @@ Array2D<double> AirshedSim::gather_species(int species, int root) {
     field(i, j) = pick_species(c_(i, j), species);
   });
   return mesh::gather_grid(p_, pgrid_, field, root);
+}
+
+// ----------------------------------------------------------- block sets --
+
+mesh::BlockLayout2D make_airshed_block_layout(const AirshedConfig& cfg,
+                                              int nprocs,
+                                              const AirshedBlockConfig& config) {
+  mesh::BlockLayout2D layout;
+  layout.global_nx = cfg.nx;
+  layout.global_ny = cfg.ny;
+  if (config.nbx > 0 && config.nby > 0) {
+    layout.nbx = config.nbx;
+    layout.nby = config.nby;
+  } else {
+    const auto pgrid = mpl::CartGrid2D::near_square(nprocs);
+    layout.nbx = pgrid.npx();
+    layout.nby = pgrid.npy();
+  }
+  layout.ghost = 1;
+  layout.periodic = mesh::Periodicity{cfg.periodic, cfg.periodic};
+  return layout;
+}
+
+AirshedBlockSim::AirshedBlockSim(mpl::Process& p,
+                                 const mesh::BlockLayout2D& layout,
+                                 const std::vector<int>& owner,
+                                 const AirshedConfig& cfg, bool batched)
+    : p_(p),
+      cfg_(cfg),
+      dx_(cfg.lx / static_cast<double>(cfg.nx)),
+      dy_(cfg.ly / static_cast<double>(cfg.ny)),
+      c_(layout, owner, p.rank()),
+      cnew_(layout, owner, p.rank()),
+      emissions_([&] {
+        mesh::BlockLayout2D e = layout;
+        e.ghost = 0;
+        return mesh::BlockSet<Chem>(e, owner, p.rank());
+      }()),
+      plan_(c_, mesh::BlockExchangeOptions{false, 0, batched, false, 0.0}) {
+  init_background();
+}
+
+void AirshedBlockSim::init_background() {
+  c_.init_from_global(
+      [&](std::size_t, std::size_t) { return background_cell(cfg_); });
+  emissions_.init_from_global([&](std::size_t gi, std::size_t gj) {
+    return emission_cell(cfg_, dx_, dy_, gi, gj);
+  });
+}
+
+void AirshedBlockSim::set_field(
+    const std::function<Chem(std::size_t, std::size_t)>& fn) {
+  c_.init_from_global(fn);
+}
+
+void AirshedBlockSim::disable_emissions() {
+  for (auto& b : emissions_) b.grid().fill(Chem{});
+}
+
+double AirshedBlockSim::photolysis_rate(double hour) const {
+  return diurnal_photolysis(cfg_, hour);
+}
+
+void AirshedBlockSim::transport_step() {
+  // The single-grid schedule lifted over the block set: one batched
+  // boundary round in flight while every owned block's core is swept.
+  plan_.begin_exchange_all(p_, c_);
+
+  const double u = cfg_.wind_u;
+  const double v = cfg_.wind_v;
+  const double kdiff = cfg_.diffusion;
+  const double dt = cfg_.dt;
+
+  for (std::size_t b = 0; b < c_.size(); ++b) {
+    const auto& cg = c_.block(b).grid();
+    auto& ng = cnew_.block(b).grid();
+    const mesh::Region2 all = mesh::interior_region(cg);
+    const mesh::Region2 core = mesh::core_region(cg, 1, all);
+    mesh::for_region(core, [&](std::ptrdiff_t i, std::ptrdiff_t j) {
+      ng(i, j) = advect_cell(cg, i, j, u, v, kdiff, dt, dx_, dy_);
+    });
+  }
+
+  plan_.end_exchange_all(p_, c_);
+  if (!cfg_.periodic) {
+    // Open boundaries: zero-gradient ghosts on each block touching a
+    // global face — the same cells the single-grid fill covers.
+    for (auto& blk : c_) {
+      auto& g = blk.grid();
+      const auto nx = static_cast<std::ptrdiff_t>(g.nx());
+      const auto ny = static_cast<std::ptrdiff_t>(g.ny());
+      if (blk.x_range().lo == 0) {
+        for (std::ptrdiff_t j = -1; j <= ny; ++j) g(-1, j) = g(0, j);
+      }
+      if (blk.x_range().hi == cfg_.nx) {
+        for (std::ptrdiff_t j = -1; j <= ny; ++j) g(nx, j) = g(nx - 1, j);
+      }
+      if (blk.y_range().lo == 0) {
+        for (std::ptrdiff_t i = -1; i <= nx; ++i) g(i, -1) = g(i, 0);
+      }
+      if (blk.y_range().hi == cfg_.ny) {
+        for (std::ptrdiff_t i = -1; i <= nx; ++i) g(i, ny) = g(i, ny - 1);
+      }
+    }
+  }
+  for (std::size_t b = 0; b < c_.size(); ++b) {
+    const auto& cg = c_.block(b).grid();
+    auto& ng = cnew_.block(b).grid();
+    const mesh::Region2 all = mesh::interior_region(cg);
+    const mesh::Region2 core = mesh::core_region(cg, 1, all);
+    mesh::for_rim(all, core, [&](std::ptrdiff_t i, std::ptrdiff_t j) {
+      ng(i, j) = advect_cell(cg, i, j, u, v, kdiff, dt, dx_, dy_);
+    });
+  }
+
+  std::swap(c_, cnew_);
+}
+
+void AirshedBlockSim::chemistry_step() {
+  const double j = photolysis_rate(hour_);
+  const double k = cfg_.rate_k;
+  const double kv_eff = cfg_.rate_kv * (j / cfg_.rate_j_max);
+  const double vc = cfg_.voc_consumption;
+  const double dt = cfg_.dt;
+  for (auto& b : c_) {
+    auto& g = b.grid();
+    mesh::for_interior(g, [&](std::ptrdiff_t i, std::ptrdiff_t jj) {
+      g(i, jj) = chem_cell(g(i, jj), j, k, kv_eff, vc, dt);
+    });
+  }
+}
+
+void AirshedBlockSim::step() {
+  transport_step();
+  for (std::size_t b = 0; b < c_.size(); ++b) {
+    auto& g = c_.block(b).grid();
+    const auto& e = emissions_.block(b).grid();
+    mesh::for_interior(g, [&](std::ptrdiff_t i, std::ptrdiff_t j) {
+      g(i, j).no += cfg_.dt * e(i, j).no;
+      g(i, j).no2 += cfg_.dt * e(i, j).no2;
+      g(i, j).voc += cfg_.dt * e(i, j).voc;
+    });
+  }
+  chemistry_step();
+  hour_ += cfg_.dt;
+}
+
+void AirshedBlockSim::run(int steps) {
+  for (int s = 0; s < steps; ++s) step();
+}
+
+double AirshedBlockSim::total(int species) {
+  double local = 0.0;
+  for (const auto& b : c_) {
+    local = mesh::local_reduce(b.grid(), local, [&](double acc, const Chem& q) {
+      return acc + pick_species(q, species);
+    });
+  }
+  return p_.allreduce(local, mpl::SumOp{}) * dx_ * dy_;
+}
+
+double AirshedBlockSim::total_nitrogen() {
+  double local = 0.0;
+  for (const auto& b : c_) {
+    local = mesh::local_reduce(b.grid(), local, [](double acc, const Chem& q) {
+      return acc + q.no + q.no2;
+    });
+  }
+  return p_.allreduce(local, mpl::SumOp{}) * dx_ * dy_;
+}
+
+Array2D<double> AirshedBlockSim::gather_species(int species, int root) {
+  mesh::BlockLayout2D field_layout = c_.layout();
+  field_layout.ghost = 0;
+  mesh::BlockSet<double> field(field_layout, c_.owner_map(), p_.rank());
+  for (std::size_t b = 0; b < c_.size(); ++b) {
+    const auto& cg = c_.block(b).grid();
+    auto& fg = field.block(b).grid();
+    mesh::for_interior(fg, [&](std::ptrdiff_t i, std::ptrdiff_t j) {
+      fg(i, j) = pick_species(cg(i, j), species);
+    });
+  }
+  return mesh::gather_blocks(p_, field, root);
 }
 
 }  // namespace ppa::app

@@ -63,6 +63,38 @@ EulerState rusanov_y(const EulerState& l, const EulerState& r, double gamma) {
           0.5 * (fl.E + fr.E) - 0.5 * smax * (r.E - l.E)};
 }
 
+/// Flux-differenced update of one cell: reads the 5-point neighborhood of
+/// `u`, writes `unew`. Shared by the single-grid and block solvers — the
+/// bitwise parity between them rests on this being the same arithmetic.
+void flux_update_cell(const mesh::Grid2D<EulerState>& u,
+                      mesh::Grid2D<EulerState>& unew, double gamma,
+                      std::ptrdiff_t i, std::ptrdiff_t j, double cx,
+                      double cy) {
+  const EulerState fxm = rusanov_x(u(i - 1, j), u(i, j), gamma);
+  const EulerState fxp = rusanov_x(u(i, j), u(i + 1, j), gamma);
+  const EulerState fym = rusanov_y(u(i, j - 1), u(i, j), gamma);
+  const EulerState fyp = rusanov_y(u(i, j), u(i, j + 1), gamma);
+  EulerState s = u(i, j);
+  s = axpy(s, fxp, -cx);
+  s = axpy(s, fxm, +cx);
+  s = axpy(s, fyp, -cy);
+  s = axpy(s, fym, +cy);
+  unew(i, j) = s;
+}
+
+/// Local max wave speed over one grid's interior.
+double local_max_wave_speed(const mesh::Grid2D<EulerState>& u, double gamma,
+                            double floor) {
+  double local = floor;
+  mesh::for_interior(u, [&](std::ptrdiff_t i, std::ptrdiff_t j) {
+    const EulerState& s = u(i, j);
+    const double c = sound_speed(s, gamma);
+    local = std::max(local, std::abs(s.mx / s.rho) + c);
+    local = std::max(local, std::abs(s.my / s.rho) + c);
+  });
+  return local;
+}
+
 }  // namespace
 
 EulerState to_conserved(const EulerPrim& w, double gamma) {
@@ -138,16 +170,7 @@ void CfdSim::apply_physical_bcs() {
 
 void CfdSim::flux_update(std::ptrdiff_t i, std::ptrdiff_t j, double cx,
                          double cy) {
-  const EulerState fxm = rusanov_x(u_(i - 1, j), u_(i, j), cfg_.gamma);
-  const EulerState fxp = rusanov_x(u_(i, j), u_(i + 1, j), cfg_.gamma);
-  const EulerState fym = rusanov_y(u_(i, j - 1), u_(i, j), cfg_.gamma);
-  const EulerState fyp = rusanov_y(u_(i, j), u_(i, j + 1), cfg_.gamma);
-  EulerState s = u_(i, j);
-  s = axpy(s, fxp, -cx);
-  s = axpy(s, fxm, +cx);
-  s = axpy(s, fyp, -cy);
-  s = axpy(s, fym, +cy);
-  unew_(i, j) = s;
+  flux_update_cell(u_, unew_, cfg_.gamma, i, j, cx, cy);
 }
 
 double CfdSim::step() {
@@ -158,13 +181,7 @@ double CfdSim::step() {
   // 2. Reduction: global max wave speed -> dt (replicated global). Reads
   // only interior cells, so it overlaps the exchange — including the
   // allreduce's own communication.
-  double local_smax = 1e-12;
-  mesh::for_interior(u_, [&](std::ptrdiff_t i, std::ptrdiff_t j) {
-    const EulerState& s = u_(i, j);
-    const double c = sound_speed(s, cfg_.gamma);
-    local_smax = std::max(local_smax, std::abs(s.mx / s.rho) + c);
-    local_smax = std::max(local_smax, std::abs(s.my / s.rho) + c);
-  });
+  const double local_smax = local_max_wave_speed(u_, cfg_.gamma, 1e-12);
   const double smax = p_.allreduce(local_smax, mpl::MaxOp{});
   const double dt = cfg_.cfl * std::min(dx_, dy_) / smax;
 
@@ -266,6 +283,166 @@ Array2D<double> CfdSim::gather_vorticity(int root) {
     }
   }
   return omega;
+}
+
+// ----------------------------------------------------------- block sets --
+
+mesh::BlockLayout2D make_cfd_block_layout(const CfdConfig& cfg, int nprocs,
+                                          const CfdBlockConfig& config) {
+  mesh::BlockLayout2D layout;
+  layout.global_nx = cfg.nx;
+  layout.global_ny = cfg.ny;
+  if (config.nbx > 0 && config.nby > 0) {
+    layout.nbx = config.nbx;
+    layout.nby = config.nby;
+  } else {
+    const auto pgrid = mpl::CartGrid2D::near_square(nprocs);
+    layout.nbx = pgrid.npx();
+    layout.nby = pgrid.npy();
+  }
+  layout.ghost = 1;
+  layout.periodic = mesh::Periodicity{cfg.periodic_x, true};
+  return layout;
+}
+
+CfdBlockSim::CfdBlockSim(mpl::Process& p, const mesh::BlockLayout2D& layout,
+                         const std::vector<int>& owner, const CfdConfig& cfg,
+                         bool batched)
+    : p_(p),
+      cfg_(cfg),
+      dx_(cfg.lx / static_cast<double>(cfg.nx)),
+      dy_(cfg.ly / static_cast<double>(cfg.ny)),
+      u_(layout, owner, p.rank()),
+      unew_(layout, owner, p.rank()),
+      inflow_(to_conserved(post_shock_state(cfg.mach, cfg.rho_light, cfg.p0,
+                                            cfg.gamma),
+                           cfg.gamma)),
+      plan_(u_, mesh::BlockExchangeOptions{false, 0, batched, false, 0.0}) {}
+
+void CfdBlockSim::set_state(
+    const std::function<EulerState(std::size_t, std::size_t)>& fn) {
+  u_.init_from_global(fn);
+}
+
+void CfdBlockSim::init_shock_interface() {
+  const CfdConfig& c = cfg_;
+  const EulerState post = inflow_;
+  u_.init_from_global([&](std::size_t gi, std::size_t gj) {
+    const double x = (static_cast<double>(gi) + 0.5) * dx_;
+    const double y = (static_cast<double>(gj) + 0.5) * dy_;
+    if (x < c.x_shock) return post;
+    const double interface_x =
+        c.x_interface + c.amplitude * std::sin(2.0 * std::numbers::pi *
+                                               c.interface_modes * y / c.ly);
+    const double rho = (x < interface_x) ? c.rho_light : c.rho_heavy;
+    return to_conserved({rho, 0.0, 0.0, c.p0}, c.gamma);
+  });
+}
+
+void CfdBlockSim::apply_physical_bcs() {
+  if (cfg_.periodic_x) return;
+  // Same fills as CfdSim, applied per block that touches a global x face:
+  // the union over blocks covers exactly the cells the single-grid fill
+  // covers (the rim sweep reads only (-1, j) / (nx, j) with j in [0, ny)).
+  for (auto& b : u_) {
+    auto& g = b.grid();
+    const auto ny = static_cast<std::ptrdiff_t>(g.ny());
+    if (b.x_range().lo == 0) {
+      for (std::ptrdiff_t j = -1; j <= ny; ++j) g(-1, j) = inflow_;
+    }
+    if (b.x_range().hi == cfg_.nx) {
+      const auto last = static_cast<std::ptrdiff_t>(g.nx()) - 1;
+      for (std::ptrdiff_t j = -1; j <= ny; ++j) g(last + 1, j) = g(last, j);
+    }
+  }
+}
+
+double CfdBlockSim::step() {
+  // The single-grid schedule, lifted over the block set: one batched
+  // boundary round in flight while every owned block's dt reduction and
+  // core sweep run.
+  plan_.begin_exchange_all(p_, u_);
+
+  double local_smax = 1e-12;
+  for (const auto& b : u_) {
+    local_smax = local_max_wave_speed(b.grid(), cfg_.gamma, local_smax);
+  }
+  const double smax = p_.allreduce(local_smax, mpl::MaxOp{});
+  const double dt = cfg_.cfl * std::min(dx_, dy_) / smax;
+
+  const double cx = dt / dx_;
+  const double cy = dt / dy_;
+  for (std::size_t b = 0; b < u_.size(); ++b) {
+    const auto& ug = u_.block(b).grid();
+    auto& ng = unew_.block(b).grid();
+    const mesh::Region2 all = mesh::interior_region(ug);
+    const mesh::Region2 core = mesh::core_region(ug, 1, all);
+    mesh::for_region(core, [&](std::ptrdiff_t i, std::ptrdiff_t j) {
+      flux_update_cell(ug, ng, cfg_.gamma, i, j, cx, cy);
+    });
+  }
+  plan_.end_exchange_all(p_, u_);
+  apply_physical_bcs();
+  for (std::size_t b = 0; b < u_.size(); ++b) {
+    const auto& ug = u_.block(b).grid();
+    auto& ng = unew_.block(b).grid();
+    const mesh::Region2 all = mesh::interior_region(ug);
+    const mesh::Region2 core = mesh::core_region(ug, 1, all);
+    mesh::for_rim(all, core, [&](std::ptrdiff_t i, std::ptrdiff_t j) {
+      flux_update_cell(ug, ng, cfg_.gamma, i, j, cx, cy);
+    });
+  }
+
+  std::swap(u_, unew_);
+  return dt;
+}
+
+double CfdBlockSim::run(int n) {
+  double t = 0.0;
+  for (int s = 0; s < n; ++s) t += step();
+  return t;
+}
+
+double CfdBlockSim::total_mass() {
+  double local = 0.0;
+  for (const auto& b : u_) {
+    local = mesh::local_reduce(
+        b.grid(), local, [](double acc, const EulerState& s) { return acc + s.rho; });
+  }
+  return p_.allreduce(local, mpl::SumOp{}) * dx_ * dy_;
+}
+
+Array2D<double> CfdBlockSim::gather_density(int root) {
+  mesh::BlockLayout2D rho_layout = u_.layout();
+  rho_layout.ghost = 0;
+  mesh::BlockSet<double> rho(rho_layout, u_.owner_map(), p_.rank());
+  for (std::size_t b = 0; b < u_.size(); ++b) {
+    const auto& ug = u_.block(b).grid();
+    auto& rg = rho.block(b).grid();
+    mesh::for_interior(rg, [&](std::ptrdiff_t i, std::ptrdiff_t j) {
+      rg(i, j) = ug(i, j).rho;
+    });
+  }
+  return mesh::gather_blocks(p_, rho, root);
+}
+
+Array2D<double> run_shock_interface_blocks(const CfdConfig& cfg, int steps,
+                                           int nprocs,
+                                           const CfdBlockConfig& config) {
+  const auto layout = make_cfd_block_layout(cfg, nprocs, config);
+  const auto owner =
+      config.owner.empty()
+          ? mesh::distribute_blocks_contiguous(layout.nblocks(), nprocs)
+          : config.owner;
+  Array2D<double> density;
+  mpl::spmd_run(nprocs, [&](mpl::Process& p) {
+    CfdBlockSim sim(p, layout, owner, cfg, config.batched);
+    sim.init_shock_interface();
+    sim.run(steps);
+    auto rho = sim.gather_density(0);
+    if (p.rank() == 0) density = std::move(rho);
+  });
+  return density;
 }
 
 Array2D<double> run_shock_interface(const CfdConfig& cfg, int steps, int nprocs) {

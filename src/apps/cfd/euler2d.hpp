@@ -133,10 +133,76 @@ class CfdSim {
   mesh::ExchangePlan2D plan_;  ///< persistent halo plan for u_/unew_
 };
 
+/// Block-set decomposition knobs for the multi-block solver. Defaults
+/// (nbx = nby = 0, empty owner map) give one block per rank on the
+/// near_square process grid — the N = 1 configuration bitwise-identical to
+/// CfdSim.
+struct CfdBlockConfig {
+  int nbx = 0;  ///< blocks along x (0 = match the process grid)
+  int nby = 0;  ///< blocks along y (0 = match the process grid)
+  /// block→rank map (size nbx*nby); empty = contiguous distribution.
+  std::vector<int> owner;
+  /// One coalesced message per peer rank vs one per block pair (ablation).
+  bool batched = true;
+};
+
+/// Per-process Euler solve on a multi-block domain: each rank advances all
+/// the blocks it owns, and every step runs one batched boundary round over
+/// the whole block set (BlockExchangePlan2D). The per-cell flux arithmetic
+/// is shared with CfdSim, so any block decomposition of the same global
+/// domain reproduces CfdSim's fields bitwise.
+class CfdBlockSim {
+ public:
+  CfdBlockSim(mpl::Process& p, const mesh::BlockLayout2D& layout,
+              const std::vector<int>& owner, const CfdConfig& cfg,
+              bool batched = true);
+
+  /// Replace the state with fn(global_i, global_j) (for tests/custom ICs).
+  void set_state(const std::function<EulerState(std::size_t, std::size_t)>& fn);
+  /// Initialize the paper's shock/interface scenario.
+  void init_shock_interface();
+
+  /// Advance one time step; returns the dt taken (identical on all ranks).
+  double step();
+  /// Advance `n` steps; returns the simulated time advanced.
+  double run(int n);
+
+  [[nodiscard]] double total_mass();
+  /// Gathered dense density field on root (empty elsewhere).
+  [[nodiscard]] Array2D<double> gather_density(int root = 0);
+
+  [[nodiscard]] const mesh::BlockSet<EulerState>& state() const { return u_; }
+  [[nodiscard]] const mesh::BlockExchangePlan2D& plan() const { return plan_; }
+
+ private:
+  void apply_physical_bcs();
+
+  mpl::Process& p_;
+  CfdConfig cfg_;
+  double dx_;
+  double dy_;
+  mesh::BlockSet<EulerState> u_;
+  mesh::BlockSet<EulerState> unew_;
+  EulerState inflow_;
+  mesh::BlockExchangePlan2D plan_;  ///< one batched round per step
+};
+
+/// Build the block layout for a config: global extents from `cfg`, ghost 1,
+/// x periodicity per `cfg.periodic_x`, y always periodic; block counts from
+/// `config` (0 = match the near_square grid of `nprocs`).
+[[nodiscard]] mesh::BlockLayout2D make_cfd_block_layout(
+    const CfdConfig& cfg, int nprocs, const CfdBlockConfig& config = {});
+
 /// Convenience driver: run the shock-interface scenario for `steps` steps on
 /// `nprocs` SPMD processes and return the final gathered density field.
 [[nodiscard]] Array2D<double> run_shock_interface(const CfdConfig& cfg, int steps,
                                                   int nprocs);
+
+/// Multi-block convenience driver: same scenario on a block-decomposed
+/// domain (any distribution), returning the final gathered density field.
+[[nodiscard]] Array2D<double> run_shock_interface_blocks(
+    const CfdConfig& cfg, int steps, int nprocs,
+    const CfdBlockConfig& config = {});
 
 /// Same scenario as one warm job on a persistent engine (`nprocs` defaults
 /// to the engine width); back-to-back runs reuse the engine's rank threads.

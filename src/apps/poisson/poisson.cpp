@@ -150,6 +150,143 @@ PoissonResult poisson_process(mpl::Process& p, const mpl::CartGrid2D& pgrid,
   return result;
 }
 
+PoissonResult poisson_blocks_process(mpl::Process& p,
+                                     const mesh::BlockLayout2D& layout,
+                                     const std::vector<int>& owner,
+                                     const PoissonProblem& prob, bool batched) {
+  const std::size_t nx = prob.nx;
+  const std::size_t ny = prob.ny;
+  const double h = spacing(prob);
+
+  mesh::BlockSet<double> uk(layout, owner, p.rank());
+  mesh::BlockSet<double> ukp(layout, owner, p.rank());
+  mesh::BlockSet<double> fv(layout, owner, p.rank());
+
+  fv.init_from_global([&](std::size_t gi, std::size_t gj) {
+    return prob.f(static_cast<double>(gi) * h, static_cast<double>(gj) * h);
+  });
+  uk.init_from_global([&](std::size_t gi, std::size_t gj) {
+    const bool boundary = (gi == 0 || gi == nx - 1 || gj == 0 || gj == ny - 1);
+    return boundary
+               ? prob.g(static_cast<double>(gi) * h, static_cast<double>(gj) * h)
+               : 0.0;
+  });
+  for (std::size_t b = 0; b < uk.size(); ++b) {
+    ukp.block(b).grid().copy_interior_from(uk.block(b).grid());
+  }
+
+  // Per-block update/core regions: each block clips the global interior to
+  // its own window exactly as poisson_process does for its rank section.
+  std::vector<mesh::Region2> update(uk.size()), core(uk.size());
+  for (std::size_t b = 0; b < uk.size(); ++b) {
+    const auto& blk = uk.block(b);
+    const auto ilo = static_cast<std::ptrdiff_t>(blk.x_range().lo == 0 ? 1 : 0);
+    const auto jlo = static_cast<std::ptrdiff_t>(blk.y_range().lo == 0 ? 1 : 0);
+    const auto ihi = static_cast<std::ptrdiff_t>(blk.nx()) -
+                     (blk.x_range().hi == nx ? 1 : 0);
+    const auto jhi = static_cast<std::ptrdiff_t>(blk.ny()) -
+                     (blk.y_range().hi == ny ? 1 : 0);
+    update[b] = mesh::Region2{ilo, ihi, jlo, jhi};
+    core[b] = mesh::core_region(blk.grid(), 1, update[b]);
+  }
+
+  mesh::Global<double> diffmax(prob.tolerance + 1.0);
+
+  // One plan for the whole block set: all off-rank halos travel in one
+  // batched message per peer rank per iteration; on-rank block pairs are
+  // local copies. The 5-point stencil reads no corner ghosts.
+  mesh::BlockExchangePlan2D plan(
+      uk, mesh::BlockExchangeOptions{false, 0, batched, false, 0.0});
+
+  PoissonResult result;
+  while (diffmax.get() > prob.tolerance && result.iterations < prob.max_iters) {
+    plan.begin_exchange_all(p, uk);
+    for (std::size_t b = 0; b < uk.size(); ++b) {
+      auto& ukg = uk.block(b).grid();
+      auto& ukpg = ukp.block(b).grid();
+      auto& fvg = fv.block(b).grid();
+      mesh::for_region(core[b], [&](std::ptrdiff_t i, std::ptrdiff_t j) {
+        ukpg(i, j) = (ukg(i - 1, j) + ukg(i + 1, j) + ukg(i, j - 1) +
+                      ukg(i, j + 1) - h * h * fvg(i, j)) *
+                     0.25;
+      });
+    }
+    plan.end_exchange_all(p, uk);
+    for (std::size_t b = 0; b < uk.size(); ++b) {
+      auto& ukg = uk.block(b).grid();
+      auto& ukpg = ukp.block(b).grid();
+      auto& fvg = fv.block(b).grid();
+      mesh::for_rim(update[b], core[b], [&](std::ptrdiff_t i, std::ptrdiff_t j) {
+        ukpg(i, j) = (ukg(i - 1, j) + ukg(i + 1, j) + ukg(i, j - 1) +
+                      ukg(i, j + 1) - h * h * fvg(i, j)) *
+                     0.25;
+      });
+    }
+
+    double local_diffmax = 0.0;
+    for (std::size_t b = 0; b < uk.size(); ++b) {
+      auto& ukg = uk.block(b).grid();
+      auto& ukpg = ukp.block(b).grid();
+      const auto& u = update[b];
+      for (std::ptrdiff_t i = u.i0; i < u.i1; ++i) {
+        for (std::ptrdiff_t j = u.j0; j < u.j1; ++j) {
+          local_diffmax =
+              std::max(local_diffmax, std::abs(ukpg(i, j) - ukg(i, j)));
+        }
+      }
+    }
+    diffmax.store_replicated(p, p.allreduce(local_diffmax, mpl::MaxOp{}));
+
+    for (std::size_t b = 0; b < uk.size(); ++b) {
+      auto& ukg = uk.block(b).grid();
+      auto& ukpg = ukp.block(b).grid();
+      const auto& u = update[b];
+      for (std::ptrdiff_t i = u.i0; i < u.i1; ++i) {
+        for (std::ptrdiff_t j = u.j0; j < u.j1; ++j) ukg(i, j) = ukpg(i, j);
+      }
+    }
+    ++result.iterations;
+  }
+
+  result.u = mesh::gather_blocks(p, uk, 0);
+  result.final_diffmax = diffmax.get();
+  return result;
+}
+
+mesh::BlockLayout2D make_poisson_block_layout(const PoissonProblem& prob,
+                                              int nprocs,
+                                              const PoissonBlockConfig& config) {
+  mesh::BlockLayout2D layout;
+  layout.global_nx = prob.nx;
+  layout.global_ny = prob.ny;
+  if (config.nbx > 0 && config.nby > 0) {
+    layout.nbx = config.nbx;
+    layout.nby = config.nby;
+  } else {
+    const auto pgrid = mpl::CartGrid2D::near_square(nprocs);
+    layout.nbx = pgrid.npx();
+    layout.nby = pgrid.npy();
+  }
+  layout.ghost = 1;
+  return layout;
+}
+
+PoissonResult poisson_blocks_spmd(const PoissonProblem& prob, int nprocs,
+                                  const PoissonBlockConfig& config) {
+  const auto layout = make_poisson_block_layout(prob, nprocs, config);
+  const auto owner =
+      config.owner.empty()
+          ? mesh::distribute_blocks_contiguous(layout.nblocks(), nprocs)
+          : config.owner;
+  PoissonResult result;
+  mpl::spmd_run(nprocs, [&](mpl::Process& p) {
+    auto local =
+        poisson_blocks_process(p, layout, owner, prob, config.batched);
+    if (p.rank() == 0) result = std::move(local);
+  });
+  return result;
+}
+
 PoissonResult poisson_spmd(const PoissonProblem& prob, int nprocs) {
   const auto pgrid = mpl::CartGrid2D::near_square(nprocs);
   PoissonResult result;

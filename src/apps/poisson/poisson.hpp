@@ -83,4 +83,40 @@ struct PoissonResult {
                                          mpl::Priority priority = mpl::Priority::kNormal,
                                          const mpl::JobOptions& options = {});
 
+/// Block-set decomposition knobs for the multi-block driver. The default
+/// (nbx = nby = 0, empty owner map) reproduces the one-grid-per-rank
+/// layout: near_square process grid, one block per rank — the N = 1
+/// configuration that is bitwise-identical (fields *and* message counts)
+/// to poisson_process.
+struct PoissonBlockConfig {
+  int nbx = 0;  ///< blocks along x (0 = match the process grid)
+  int nby = 0;  ///< blocks along y (0 = match the process grid)
+  /// block→rank map (size nbx*nby); empty = contiguous distribution.
+  std::vector<int> owner;
+  /// One coalesced message per peer rank vs one per block pair (ablation).
+  bool batched = true;
+};
+
+/// Build the block layout for a problem: global extents from `prob`, ghost
+/// 1, non-periodic; block counts from `config` (0 = match the near_square
+/// grid of `nprocs`).
+[[nodiscard]] mesh::BlockLayout2D make_poisson_block_layout(
+    const PoissonProblem& prob, int nprocs,
+    const PoissonBlockConfig& config = {});
+
+/// Version 2 on a multi-block domain: each rank owns the blocks the map
+/// assigns it (N >= 1, oversubscription welcome) and every iteration runs
+/// ONE batched boundary round over the whole block set. Identical per-point
+/// arithmetic and a max-combined convergence test keep any decomposition
+/// bitwise-equal to poisson_process on the same global grid.
+[[nodiscard]] PoissonResult poisson_blocks_process(
+    mpl::Process& p, const mesh::BlockLayout2D& layout,
+    const std::vector<int>& owner, const PoissonProblem& prob,
+    bool batched = true);
+
+/// Whole-problem multi-block driver on `nprocs` SPMD processes.
+[[nodiscard]] PoissonResult poisson_blocks_spmd(const PoissonProblem& prob,
+                                                int nprocs,
+                                                const PoissonBlockConfig& config = {});
+
 }  // namespace ppa::app

@@ -55,6 +55,22 @@ class Grid2D {
   Grid2D(std::size_t global_nx, std::size_t global_ny, std::size_t ghost = 1)
       : Grid2D(global_nx, global_ny, mpl::CartGrid2D{1, 1}, 0, ghost) {}
 
+  /// Explicit-range constructor: the local section covers the given global
+  /// index ranges, independent of any process grid. This is the meshblock
+  /// form (blockset.hpp): a rank owning several blocks builds one Grid2D
+  /// per block, each with its own global window.
+  Grid2D(std::size_t global_nx, std::size_t global_ny, Range x_range,
+         Range y_range, std::size_t ghost)
+      : global_nx_(global_nx),
+        global_ny_(global_ny),
+        ghost_(ghost),
+        x_range_(x_range),
+        y_range_(y_range) {
+    assert(x_range.hi <= global_nx && y_range.hi <= global_ny);
+    storage_.assign(
+        (x_range_.size() + 2 * ghost) * (y_range_.size() + 2 * ghost), T{});
+  }
+
   [[nodiscard]] std::size_t global_nx() const noexcept { return global_nx_; }
   [[nodiscard]] std::size_t global_ny() const noexcept { return global_ny_; }
   [[nodiscard]] std::size_t nx() const noexcept { return x_range_.size(); }

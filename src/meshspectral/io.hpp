@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "meshspectral/blockset.hpp"
 #include "meshspectral/grid2d.hpp"
 #include "mpl/process.hpp"
 #include "mpl/topology.hpp"
@@ -78,6 +79,105 @@ void scatter_grid(mpl::Process& p, const mpl::CartGrid2D& pgrid,
   const auto mine = p.scatter(parts, root);
   grid.unpack_region(0, static_cast<std::ptrdiff_t>(grid.nx()), 0,
                      static_cast<std::ptrdiff_t>(grid.ny()), mine);
+}
+
+// ------------------------------------------------------- block sets --
+
+/// Assemble the full grid on `root` from a block-decomposed domain: every
+/// rank contributes each of its blocks tagged with its *global block
+/// coordinates* (id + index window), so assembly is correct under any
+/// block→rank distribution — contiguous, round-robin, oversubscribed or
+/// deliberately imbalanced. Deallocated blocks contribute no data and
+/// assemble as exact zeros (their defined value). Returns the dense global
+/// array on root, an empty array elsewhere.
+template <mpl::Wire T>
+Array2D<T> gather_blocks(mpl::Process& p, const BlockSet<T>& blocks,
+                         int root = 0) {
+  const auto& layout = blocks.layout();
+  // Per-block header: {id, xlo, xhi, ylo, yhi, allocated}. Data part:
+  // interiors of *allocated* blocks only, concatenated in header order.
+  std::vector<std::uint64_t> headers;
+  std::vector<T> data;
+  headers.reserve(blocks.size() * 6);
+  for (const auto& b : blocks) {
+    headers.insert(headers.end(),
+                   {static_cast<std::uint64_t>(b.id()), b.x_range().lo,
+                    b.x_range().hi, b.y_range().lo, b.y_range().hi,
+                    static_cast<std::uint64_t>(b.allocated() ? 1 : 0)});
+    if (b.allocated()) {
+      const auto flat = b.grid().interior();
+      data.insert(data.end(), flat.flat().begin(), flat.flat().end());
+    }
+  }
+  auto all_headers = p.gather_parts(
+      std::span<const std::uint64_t>(headers.data(), headers.size()), root);
+  auto all_data =
+      p.gather_parts(std::span<const T>(data.data(), data.size()), root);
+  if (p.rank() != root) return {};
+
+  Array2D<T> out(layout.global_nx, layout.global_ny);  // zero-initialized
+  for (std::size_t r = 0; r < all_headers.size(); ++r) {
+    const auto& h = all_headers[r];
+    const auto& d = all_data[r];
+    std::size_t k = 0;
+    for (std::size_t b = 0; b + 6 <= h.size(); b += 6) {
+      const std::size_t xlo = h[b + 1], xhi = h[b + 2];
+      const std::size_t ylo = h[b + 3], yhi = h[b + 4];
+      if (h[b + 5] == 0) continue;  // deallocated: stays zero
+      for (std::size_t i = xlo; i < xhi; ++i) {
+        for (std::size_t j = ylo; j < yhi; ++j) out(i, j) = d[k++];
+      }
+    }
+  }
+  return out;
+}
+
+/// Scatter a dense global array from `root` into a block-decomposed domain.
+/// Each rank receives its owned blocks' windows (by global block
+/// coordinates, any distribution). A destination block whose window is
+/// entirely T{} stays deallocated if it was — so sparse block sets
+/// round-trip through gather/scatter without densifying; any non-trivial
+/// window allocates its block. `dense` is ignored on non-root ranks.
+template <mpl::Wire T>
+void scatter_blocks(mpl::Process& p, const Array2D<T>& dense,
+                    BlockSet<T>& blocks, int root = 0) {
+  const auto& layout = blocks.layout();
+  const auto& owner = blocks.owner_map();
+  std::vector<std::vector<T>> parts;
+  if (p.rank() == root) {
+    parts.resize(static_cast<std::size_t>(p.size()));
+    // Root walks blocks in ascending id per rank — the same order each
+    // receiver stores its blocks in, so no per-block header is needed.
+    for (int id = 0; id < layout.nblocks(); ++id) {
+      const Range xr = layout.x_range(layout.bx_of(id));
+      const Range yr = layout.y_range(layout.by_of(id));
+      auto& part = parts[static_cast<std::size_t>(owner[static_cast<std::size_t>(id)])];
+      part.reserve(part.size() + xr.size() * yr.size());
+      for (std::size_t i = xr.lo; i < xr.hi; ++i) {
+        for (std::size_t j = yr.lo; j < yr.hi; ++j) part.push_back(dense(i, j));
+      }
+    }
+  }
+  const auto mine = p.scatter(parts, root);
+  std::size_t k = 0;
+  for (auto& b : blocks) {
+    const std::size_t n = b.nx() * b.ny();
+    const std::span<const T> window(mine.data() + k, n);
+    k += n;
+    if (!b.allocated()) {
+      bool trivial = true;
+      for (const T& v : window) {
+        if (!(v == T{})) {
+          trivial = false;
+          break;
+        }
+      }
+      if (trivial) continue;  // sparse round-trip: stay deallocated
+      b.allocate();
+    }
+    b.grid().unpack_region(0, static_cast<std::ptrdiff_t>(b.nx()), 0,
+                           static_cast<std::ptrdiff_t>(b.ny()), window);
+  }
 }
 
 /// Write a grid to a simple text file from the root process (one row per

@@ -49,6 +49,8 @@
 
 #include <cassert>
 #include <cstddef>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "meshspectral/grid2d.hpp"
@@ -57,6 +59,16 @@
 #include "mpl/topology.hpp"
 
 namespace ppa::mesh {
+
+/// Thrown when a plan's begin/end is handed a grid whose shape differs from
+/// the one the plan was compiled for. Plans deliberately hold no grid
+/// reference — one plan serves any same-shape grid (ping-pong pairs across
+/// std::swap) — so re-entry with a *different*-extent grid used to rely on
+/// caller discipline alone; now it is validated on every begin/end.
+class PlanShapeMismatch : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
 
 /// User-level tag block reserved for halo-exchange plans and redistribution
 /// plans; apps should avoid [kExchangeTagBase, kExchangeTagBase + 8192).
@@ -312,11 +324,14 @@ class ExchangePlan2D {
     }
   }
 
-  void check_geometry([[maybe_unused]] std::size_t nx,
-                      [[maybe_unused]] std::size_t ny,
-                      [[maybe_unused]] std::size_t ghost) const {
-    assert(nx == nx_ && ny == ny_ && ghost == ghost_ &&
-           "ExchangePlan2D: grid shape differs from the compiled plan");
+  void check_geometry(std::size_t nx, std::size_t ny, std::size_t ghost) const {
+    if (nx != nx_ || ny != ny_ || ghost != ghost_) {
+      throw PlanShapeMismatch(
+          "ExchangePlan2D: grid shape (" + std::to_string(nx) + "x" +
+          std::to_string(ny) + ", ghost " + std::to_string(ghost) +
+          ") differs from the compiled plan (" + std::to_string(nx_) + "x" +
+          std::to_string(ny_) + ", ghost " + std::to_string(ghost_) + ")");
+    }
   }
 
   std::size_t nx_ = 0, ny_ = 0, ghost_ = 0;
@@ -465,12 +480,16 @@ class ExchangePlan3D {
     }
   }
 
-  void check_geometry([[maybe_unused]] std::size_t nx,
-                      [[maybe_unused]] std::size_t ny,
-                      [[maybe_unused]] std::size_t nz,
-                      [[maybe_unused]] std::size_t ghost) const {
-    assert(nx == n_[0] && ny == n_[1] && nz == n_[2] && ghost == ghost_ &&
-           "ExchangePlan3D: grid shape differs from the compiled plan");
+  void check_geometry(std::size_t nx, std::size_t ny, std::size_t nz,
+                      std::size_t ghost) const {
+    if (nx != n_[0] || ny != n_[1] || nz != n_[2] || ghost != ghost_) {
+      throw PlanShapeMismatch(
+          "ExchangePlan3D: grid shape (" + std::to_string(nx) + "x" +
+          std::to_string(ny) + "x" + std::to_string(nz) + ", ghost " +
+          std::to_string(ghost) + ") differs from the compiled plan (" +
+          std::to_string(n_[0]) + "x" + std::to_string(n_[1]) + "x" +
+          std::to_string(n_[2]) + ", ghost " + std::to_string(ghost_) + ")");
+    }
   }
 
   std::size_t n_[3] = {0, 0, 0};

@@ -4,6 +4,7 @@
 // formation downwind of emissions, and process-count invariance.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <string>
 
@@ -162,6 +163,100 @@ TEST(AirshedApp, OzoneFormsDownwindOfCity) {
     };
     EXPECT_GT(center_x(o3, cfg.background_o3), center_x(no, 0.0));
   });
+}
+
+// ----------------------------------------------------------- block driver --
+
+AirshedConfig block_test_config() {
+  AirshedConfig cfg;
+  cfg.nx = 48;
+  cfg.ny = 32;
+  return cfg;
+}
+
+/// Gather all four species from either sim type on rank 0.
+template <typename Sim>
+std::array<Array2D<double>, 4> gather_all(Sim& sim) {
+  return {sim.gather_species(0), sim.gather_species(1), sim.gather_species(2),
+          sim.gather_species(3)};
+}
+
+TEST(AirshedBlocks, OneBlockPerRankMatchesSingleGridBitwise) {
+  const auto cfg = block_test_config();
+  constexpr int kSteps = 20;
+  for (const int p : {1, 2, 4}) {
+    const auto pgrid = mpl::CartGrid2D::near_square(p);
+    std::array<Array2D<double>, 4> grid_out, block_out;
+    mpl::spmd_run(p, [&](mpl::Process& proc) {
+      AirshedSim sim(proc, pgrid, cfg);
+      sim.run(kSteps);
+      auto out = gather_all(sim);
+      if (proc.rank() == 0) grid_out = std::move(out);
+    });
+    const auto layout = app::make_airshed_block_layout(cfg, p);
+    const auto owner =
+        mesh::distribute_blocks_contiguous(layout.nblocks(), p);
+    mpl::spmd_run(p, [&](mpl::Process& proc) {
+      app::AirshedBlockSim sim(proc, layout, owner, cfg);
+      sim.run(kSteps);
+      auto out = gather_all(sim);
+      if (proc.rank() == 0) block_out = std::move(out);
+    });
+    for (int s = 0; s < 4; ++s) {
+      const auto& a = grid_out[static_cast<std::size_t>(s)];
+      const auto& b = block_out[static_cast<std::size_t>(s)];
+      ASSERT_EQ(a.rows(), b.rows());
+      for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t j = 0; j < a.cols(); ++j) {
+          ASSERT_EQ(a(i, j), b(i, j)) << "p=" << p << " species " << s
+                                      << " at (" << i << "," << j << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(AirshedBlocks, OversubscribedDistributionsMatchReferenceBitwise) {
+  const auto cfg = block_test_config();
+  constexpr int kSteps = 15;
+  std::array<Array2D<double>, 4> reference;
+  {
+    const mpl::CartGrid2D pgrid(1, 1);
+    mpl::spmd_run(1, [&](mpl::Process& proc) {
+      AirshedSim sim(proc, pgrid, cfg);
+      sim.run(kSteps);
+      reference = gather_all(sim);
+    });
+  }
+  for (const int np : {2, 4}) {
+    for (const bool batched : {true, false}) {
+      app::AirshedBlockConfig config;
+      config.nbx = 4;
+      config.nby = 2;
+      config.owner = mesh::distribute_blocks_round_robin(8, np);
+      config.batched = batched;
+      const auto layout = app::make_airshed_block_layout(cfg, np, config);
+      std::array<Array2D<double>, 4> block_out;
+      mpl::spmd_run(np, [&](mpl::Process& proc) {
+        app::AirshedBlockSim sim(proc, layout, config.owner, cfg,
+                                 config.batched);
+        sim.run(kSteps);
+        auto out = gather_all(sim);
+        if (proc.rank() == 0) block_out = std::move(out);
+      });
+      for (int s = 0; s < 4; ++s) {
+        const auto& a = reference[static_cast<std::size_t>(s)];
+        const auto& b = block_out[static_cast<std::size_t>(s)];
+        for (std::size_t i = 0; i < a.rows(); ++i) {
+          for (std::size_t j = 0; j < a.cols(); ++j) {
+            ASSERT_EQ(a(i, j), b(i, j))
+                << "np=" << np << " batched=" << batched << " species " << s
+                << " at (" << i << "," << j << ")";
+          }
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

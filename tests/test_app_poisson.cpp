@@ -163,4 +163,105 @@ TEST(PoissonApp, PerIterationCommunicationPattern) {
   EXPECT_EQ(trace.op(mpl::Op::kGather), 2u * kP);  // header + payload gathers
 }
 
+// ----------------------------------------------------------- block driver --
+
+PoissonProblem block_test_problem() {
+  PoissonProblem prob;
+  prob.nx = 33;
+  prob.ny = 21;
+  prob.tolerance = 1e-6;
+  prob.g = [](double x, double y) { return x * x - y * y; };
+  prob.f = [](double, double) { return 0.0; };
+  return prob;
+}
+
+TEST(PoissonBlocks, OneBlockPerRankMatchesSingleGridBitwise) {
+  // At one block per rank (the default layout) the block-set driver is the
+  // single-grid driver with a different substrate: same fields, bit for
+  // bit, and the same iteration count.
+  const auto prob = block_test_problem();
+  for (const int p : {1, 2, 4}) {
+    const auto v2 = app::poisson_spmd(prob, p);
+    const auto blk = app::poisson_blocks_spmd(prob, p);
+    EXPECT_EQ(v2.iterations, blk.iterations) << "p=" << p;
+    ASSERT_EQ(v2.u.rows(), blk.u.rows());
+    for (std::size_t i = 0; i < v2.u.rows(); ++i) {
+      for (std::size_t j = 0; j < v2.u.cols(); ++j) {
+        ASSERT_EQ(v2.u(i, j), blk.u(i, j))
+            << "p=" << p << " at (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(PoissonBlocks, OneBlockPerRankMatchesSingleGridMessageCounts) {
+  // The batched block exchange at one block per rank sends exactly the
+  // messages the single-grid plan sends (non-periodic, no duplicate
+  // peers), and the collective pattern is unchanged.
+  constexpr int kP = 4;
+  const auto prob = block_test_problem();
+  const auto pgrid = mpl::CartGrid2D::near_square(kP);
+  mpl::TraceSnapshot grid_trace, block_trace;
+  mpl::spmd_collect<int>(
+      kP,
+      [&](mpl::Process& p) {
+        (void)app::poisson_process(p, pgrid, prob);
+        return 0;
+      },
+      &grid_trace);
+  const auto layout = app::make_poisson_block_layout(prob, kP);
+  const auto owner =
+      mesh::distribute_blocks_contiguous(layout.nblocks(), kP);
+  mpl::spmd_collect<int>(
+      kP,
+      [&](mpl::Process& p) {
+        (void)app::poisson_blocks_process(p, layout, owner, prob);
+        return 0;
+      },
+      &block_trace);
+  EXPECT_EQ(block_trace.messages, grid_trace.messages);
+  EXPECT_EQ(block_trace.op(mpl::Op::kAllreduce),
+            grid_trace.op(mpl::Op::kAllreduce));
+  EXPECT_EQ(block_trace.op(mpl::Op::kGather), grid_trace.op(mpl::Op::kGather));
+}
+
+TEST(PoissonBlocks, AnyDistributionMatchesReferenceBitwise) {
+  // Oversubscribed, non-divisible, and deliberately imbalanced block→rank
+  // maps — batched and not — all reproduce the reference field bitwise.
+  const auto prob = block_test_problem();
+  const auto reference = app::poisson_spmd(prob, 1);
+
+  for (const int np : {1, 2, 4, 8}) {
+    std::vector<app::PoissonBlockConfig> configs;
+    app::PoissonBlockConfig over;  // 8 blocks, oversubscribed for np < 8
+    over.nbx = 4;
+    over.nby = 2;
+    configs.push_back(over);
+    app::PoissonBlockConfig nondiv;  // 9 blocks never divide evenly
+    nondiv.nbx = 3;
+    nondiv.nby = 3;
+    nondiv.owner = mesh::distribute_blocks_round_robin(9, np);
+    configs.push_back(nondiv);
+    app::PoissonBlockConfig lopsided;  // all on rank 0 but one
+    lopsided.nbx = 4;
+    lopsided.nby = 2;
+    lopsided.owner.assign(8, 0);
+    lopsided.owner[5] = np - 1;
+    lopsided.batched = false;  // also exercises the per-pair path
+    configs.push_back(lopsided);
+
+    for (const auto& config : configs) {
+      const auto blk = app::poisson_blocks_spmd(prob, np, config);
+      EXPECT_EQ(reference.iterations, blk.iterations) << "np=" << np;
+      for (std::size_t i = 0; i < reference.u.rows(); ++i) {
+        for (std::size_t j = 0; j < reference.u.cols(); ++j) {
+          ASSERT_EQ(reference.u(i, j), blk.u(i, j))
+              << "np=" << np << " nbx=" << config.nbx << " at (" << i << ","
+              << j << ")";
+        }
+      }
+    }
+  }
+}
+
 }  // namespace

@@ -415,4 +415,48 @@ TEST(ExchangePlan, GhostWidthZeroIsEmpty) {
   });
 }
 
+// ------------------------------------------------------------ shape guard --
+
+TEST(ExchangePlan, MismatchedGridShapeThrowsTyped) {
+  // A plan compiled for one grid shape must refuse — with the typed
+  // PlanShapeMismatch, before any message goes out — a grid whose local
+  // extents or ghost width differ; a shape-identical grid still works.
+  mpl::spmd_run(2, [&](mpl::Process& p) {
+    const mpl::CartGrid2D pg(2, 1);
+    Grid2D<double> g(8, 6, pg, p.rank(), 1);
+    g.fill(1.0);
+    mesh::ExchangePlan2D plan(pg, p.rank(), g);
+
+    Grid2D<double> wrong_extent(12, 6, pg, p.rank(), 1);
+    EXPECT_THROW(plan.begin_exchange(p, wrong_extent),
+                 mesh::PlanShapeMismatch);
+    Grid2D<double> wrong_ghost(8, 6, pg, p.rank(), 2);
+    EXPECT_THROW(plan.begin_exchange(p, wrong_ghost),
+                 mesh::PlanShapeMismatch);
+    // PlanShapeMismatch is a logic_error (catchable as such).
+    try {
+      plan.begin_exchange(p, wrong_extent);
+      FAIL() << "expected PlanShapeMismatch";
+    } catch (const std::logic_error& e) {
+      EXPECT_NE(std::string(e.what()).find("shape"), std::string::npos);
+    }
+    // The failed begins must not have left a round in flight: the plan is
+    // still usable with a conforming grid.
+    plan.begin_exchange(p, g);
+    plan.end_exchange(p, g);
+  });
+}
+
+TEST(ExchangePlan3D, MismatchedGridShapeThrowsTyped) {
+  mpl::spmd_run(2, [&](mpl::Process& p) {
+    const mpl::CartGrid3D pg(2, 1, 1);
+    Grid3D<double> g(8, 6, 4, pg, p.rank(), 1);
+    mesh::ExchangePlan3D plan(pg, p.rank(), g);
+    Grid3D<double> wrong(8, 6, 8, pg, p.rank(), 1);
+    EXPECT_THROW(plan.begin_exchange(p, wrong), mesh::PlanShapeMismatch);
+    plan.begin_exchange(p, g);
+    plan.end_exchange(p, g);
+  });
+}
+
 }  // namespace
