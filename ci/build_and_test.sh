@@ -29,6 +29,7 @@ echo "==> examples (smoke: each must print SELF-CHECK ... ok and exit 0)"
 (cd "$BUILD_DIR" && ./poisson_demo)
 (cd "$BUILD_DIR" && ./stream_demo)
 (cd "$BUILD_DIR" && ./sparse_advection_demo)
+(cd "$BUILD_DIR" && ./compose_demo)
 
 echo "==> substrate microbenchmarks (smoke)"
 (cd "$BUILD_DIR" && PPA_BENCH_SMOKE=1 ./micro_collectives)
@@ -54,6 +55,9 @@ echo "==> fault-injection overhead ablation (smoke)"
 
 echo "==> serving scheduler ablation (smoke)"
 (cd "$BUILD_DIR" && PPA_BENCH_SMOKE=1 ./ablation_serving)
+
+echo "==> composition ablation (smoke)"
+(cd "$BUILD_DIR" && PPA_BENCH_SMOKE=1 ./ablation_compose)
 
 test -s "$BUILD_DIR/BENCH_substrate.json" || {
   echo "missing $BUILD_DIR/BENCH_substrate.json" >&2
@@ -87,6 +91,10 @@ test -s "$BUILD_DIR/BENCH_serving.json" || {
   echo "missing $BUILD_DIR/BENCH_serving.json" >&2
   exit 1
 }
+test -s "$BUILD_DIR/BENCH_compose.json" || {
+  echo "missing $BUILD_DIR/BENCH_compose.json" >&2
+  exit 1
+}
 
 # The committed overhead record (measured full-mode against a same-session
 # pre-instrumentation baseline — CI's smoke run above is too noisy to gate
@@ -116,10 +124,11 @@ if echo 'int main(){}' | g++ -xc++ -fsanitize=thread -o /tmp/tsan_probe - 2>/dev
   cmake -B "$BUILD_DIR-tsan" -S . -DPPA_SANITIZE=thread \
     -DPPA_BUILD_BENCH=OFF -DPPA_BUILD_EXAMPLES=OFF
   cmake --build "$BUILD_DIR-tsan" -j "$JOBS"
-  echo "==> TSan test (engine + scheduler + pipeline + faults)"
-  PPA_FAULT_SOAK_JOBS=40 PPA_SCHED_SOAK_JOBS=40 ctest --test-dir "$BUILD_DIR-tsan" \
+  echo "==> TSan test (engine + scheduler + pipeline + faults + compose)"
+  PPA_FAULT_SOAK_JOBS=40 PPA_SCHED_SOAK_JOBS=40 PPA_COMPOSE_SMOKE=1 \
+    ctest --test-dir "$BUILD_DIR-tsan" \
     --output-on-failure -j "$JOBS" \
-    -R 'test_engine|test_scheduler|test_pipeline|test_faults'
+    -R 'test_engine|test_scheduler|test_pipeline|test_faults|test_compose'
 else
   echo "==> TSan leg skipped (no usable -fsanitize=thread toolchain)"
 fi

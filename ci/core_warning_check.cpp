@@ -3,7 +3,8 @@
 // Warning canary for the archetype core: this translation unit includes
 // every public core header (task runtime, parfor, both divide-and-conquer
 // drivers, the one-deep skeleton, branch and bound, the streaming pipeline)
-// and instantiates the templates with representative types, and is compiled
+// and the typed composition layer, instantiates the templates with
+// representative types, and is compiled
 // with -Wall -Wextra -Werror (see CMakeLists.txt). Any warning introduced
 // in src/core/ fails the build here even if no test or app happens to
 // instantiate the offending code path.
@@ -191,6 +192,41 @@ static_assert(bnb::Spec<CanaryBnbSpec>);
               pipeline::stage([](long v) { return v + 1; }) |
               pipeline::sink([&total](long v) { total += v; });
   (void)plan.run_engine(scheduler, pipeline::default_config());
+}
+
+/// Force-instantiate the typed composition layer (never executed): the full
+/// combinator surface — plain and hosted nodes, ordered/unordered hosted
+/// farms, the degenerate source|sink graph — plus every Graph entry point
+/// and the shape-metadata accessors.
+[[maybe_unused]] void instantiate_compose(mpl::Scheduler& scheduler) {
+  long total = 0;
+  long next = 0;
+  auto graph = compose::source([next]() mutable -> std::optional<long> {
+                 return next < 4 ? std::optional<long>(next++) : std::nullopt;
+               }) |
+               compose::stage([](long v) { return v + 1; }) |
+               compose::engine_job(2, [](mpl::Process& p, const long& v) {
+                 return p.allreduce(v, [](long a, long b) { return a + b; });
+               }) |
+               compose::farm(2, [] { return [](long v) { return 2 * v; }; },
+                             compose::ordered) |
+               compose::engine_farm(2, 2,
+                                    [](mpl::Process& p, const long& v) {
+                                      return v + static_cast<long>(p.size());
+                                    },
+                                    compose::unordered) |
+               compose::sink([&total](long v) { total += v; });
+  (void)graph.node_meta();
+  (void)graph.node_label(0);
+  (void)graph.hosted_width();
+  graph.run_sequential();
+  (void)graph.run_threaded(compose::Config{});
+  (void)graph.run_scheduler(scheduler, compose::Config{}, mpl::Priority::kHigh,
+                            mpl::JobOptions{});
+
+  auto degenerate = compose::source([]() -> std::optional<int> { return {}; }) |
+                    compose::sink([](int) {});
+  degenerate.run_sequential();
 }
 
 }  // namespace

@@ -8,17 +8,10 @@ Array2D<Complex> fft2d_spmd(const Array2D<Complex>& input, int nprocs,
                             bool inverse) {
   Array2D<Complex> output;
   mpl::spmd_run(nprocs, [&](mpl::Process& p) {
-    mesh::RowDistributed<Complex> data(input.rows(), input.cols(), p.size(),
-                                       p.rank());
     // Initial data distribution (a file-input operation in the archetype's
     // sense would scatter from the root; here every rank reads its block of
-    // the caller-provided dense array).
-    data.init_from_global(
-        [&input](std::size_t r, std::size_t c) { return input(r, c); });
-
-    fft2d_process(p, data, inverse);
-
-    auto dense = mesh::gather_matrix(p, data, 0);
+    // the caller-provided dense array), transform, gather on rank 0.
+    auto dense = fft2d_body(p, input, inverse);
     if (p.rank() == 0) output = std::move(dense);
   });
   return output;

@@ -18,6 +18,7 @@
 #include <cstddef>
 
 #include "algorithms/fft.hpp"
+#include "core/compose.hpp"
 #include "core/parfor.hpp"
 #include "meshspectral/rowcol.hpp"
 #include "mpl/process.hpp"
@@ -63,10 +64,36 @@ inline void fft2d_process(mpl::Process& p, mesh::RowDistributed<Complex>& data,
   mesh::redistribute(p, cols, data);
 }
 
+/// Version 2, collective whole-grid body: scatter `input` by rows across
+/// the calling world, transform, gather on rank 0 (other ranks return an
+/// empty array). fft2d_spmd and the compose component are this body under
+/// different hosts.
+[[nodiscard]] inline Array2D<Complex> fft2d_body(mpl::Process& p,
+                                                 const Array2D<Complex>& input,
+                                                 bool inverse = false) {
+  return mesh::with_row_distribution(
+      p, input,
+      [&p, inverse](mesh::RowDistributed<Complex>& data) {
+        fft2d_process(p, data, inverse);
+      },
+      0);
+}
+
 /// Version 2, whole-problem driver: scatter a dense grid by rows, transform
 /// on `nprocs` SPMD processes, gather the result. Dimensions must be powers
 /// of two (radix-2 substrate).
 [[nodiscard]] Array2D<Complex> fft2d_spmd(const Array2D<Complex>& input, int nprocs,
                                           bool inverse = false);
+
+/// Composable component (core/compose.hpp): a hosted stage transforming a
+/// stream of dense grids, each as one np-wide SPMD job. The transform is
+/// np-invariant (fft2d_spmd == fft2d_v1 bitwise, pinned by tests), so a
+/// graph using this component produces identical bytes on every driver.
+[[nodiscard]] inline auto fft2d_component(int np, bool inverse = false) {
+  return compose::engine_job(
+      np, [inverse](mpl::Process& p, const Array2D<Complex>& in) {
+        return fft2d_body(p, in, inverse);
+      });
+}
 
 }  // namespace ppa::app

@@ -28,6 +28,7 @@
 #include <cstddef>
 #include <functional>
 
+#include "core/compose.hpp"
 #include "meshspectral/meshspectral.hpp"
 #include "mpl/spmd.hpp"
 #include "support/ndarray.hpp"
@@ -82,6 +83,20 @@ struct PoissonResult {
                                          int nprocs = 0,
                                          mpl::Priority priority = mpl::Priority::kNormal,
                                          const mpl::JobOptions& options = {});
+
+/// Composable component (core/compose.hpp): a hosted stage solving a stream
+/// of Poisson problems, each as one np-wide SPMD job on a near-square
+/// process grid (the poisson_spmd layout). Rank 0's gathered PoissonResult
+/// continues downstream. The solve is np-invariant (poisson_process ==
+/// poisson_v1 bitwise for any np, pinned by tests), so a graph using this
+/// component produces identical bytes on every driver.
+[[nodiscard]] inline auto poisson_component(int np) {
+  const auto pgrid = mpl::CartGrid2D::near_square(np);
+  return compose::engine_job(
+      np, [pgrid](mpl::Process& p, const PoissonProblem& prob) {
+        return poisson_process(p, pgrid, prob);
+      });
+}
 
 /// Block-set decomposition knobs for the multi-block driver. The default
 /// (nbx = nby = 0, empty owner map) reproduces the one-grid-per-rank

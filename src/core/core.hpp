@@ -1,10 +1,13 @@
 // ppa/core/core.hpp — umbrella header for the archetype core: the
 // work-stealing task runtime, execution policies and parfor, the one-deep
 // divide-and-conquer skeleton, the traditional divide-and-conquer drivers,
-// the branch-and-bound archetype, and the streaming pipeline archetype.
+// the branch-and-bound archetype, the streaming pipeline archetype, and the
+// typed composition layer that joins them into checked combinator graphs.
 #pragma once
 
 #include "core/branch_and_bound.hpp"  // IWYU pragma: export
+#include "core/compose.hpp"           // IWYU pragma: export
+#include "core/graph_error.hpp"       // IWYU pragma: export
 #include "core/onedeep.hpp"           // IWYU pragma: export
 #include "core/parfor.hpp"            // IWYU pragma: export
 #include "core/pipeline.hpp"          // IWYU pragma: export

@@ -1,0 +1,52 @@
+// ppa/core/graph_error.hpp
+//
+// GraphShapeError: the typed rejection every graph-layout check throws —
+// pipeline SPMD layout validation (core/pipeline.hpp) and the compose
+// combinator layer (core/compose.hpp) alike. A shape error always names the
+// offending node and, where the violation is about rank widths, carries the
+// required vs available width so callers (and tests) can react to the
+// numbers instead of parsing the message.
+//
+// Derives from std::invalid_argument (hence std::logic_error): graph shape
+// is a static property of the program, not a runtime condition — catching
+// std::logic_error keeps working everywhere these used to be untyped.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ppa {
+
+class GraphShapeError : public std::invalid_argument {
+ public:
+  /// `node` names the offending graph node (e.g. "farm#2 (ordered)" or a
+  /// compose combinator's label); `required`/`available` are rank widths
+  /// where the violation is width-shaped, 0/0 otherwise; `detail` says what
+  /// rule was broken.
+  GraphShapeError(std::string node, int required, int available,
+                  const std::string& detail)
+      : std::invalid_argument("graph shape error at node '" + node + "': " +
+                              detail +
+                              (required > 0 || available > 0
+                                   ? " (required " + std::to_string(required) +
+                                         ", available " +
+                                         std::to_string(available) + ")"
+                                   : std::string{})),
+        node_(std::move(node)),
+        required_(required),
+        available_(available) {}
+
+  /// The offending node's name.
+  [[nodiscard]] const std::string& node() const noexcept { return node_; }
+  /// Rank width the node needs (0 when the violation is not width-shaped).
+  [[nodiscard]] int required() const noexcept { return required_; }
+  /// Rank width that was actually available.
+  [[nodiscard]] int available() const noexcept { return available_; }
+
+ private:
+  std::string node_;
+  int required_;
+  int available_;
+};
+
+}  // namespace ppa

@@ -17,6 +17,21 @@ std::size_t env_size(const char* name, std::size_t fallback) {
 
 }  // namespace
 
+namespace detail {
+
+std::string node_label(std::size_t index, std::size_t n_nodes, bool is_farm,
+                       bool is_ordered) {
+  if (index == 0) return "source";
+  if (index + 1 == n_nodes) return "sink";
+  if (is_farm) {
+    return "farm#" + std::to_string(index) +
+           (is_ordered ? " (ordered)" : " (unordered)");
+  }
+  return "stage#" + std::to_string(index);
+}
+
+}  // namespace detail
+
 Config default_config() {
   Config cfg;
   cfg.queue_capacity = env_size("PPA_PIPELINE_QUEUE", cfg.queue_capacity);

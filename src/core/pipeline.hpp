@@ -104,6 +104,7 @@
 #include <variant>
 #include <vector>
 
+#include "core/graph_error.hpp"
 #include "core/task.hpp"
 #include "mpl/engine.hpp"
 #include "mpl/scheduler.hpp"
@@ -189,6 +190,12 @@ template <typename F>
 }
 
 namespace detail {
+
+/// The node name a GraphShapeError reports: "source", "sink", "stage#j" or
+/// "farm#j (ordered|unordered)", where j is the node's index in the graph
+/// (source = 0, sink = n_nodes - 1). Defined in pipeline.cpp.
+[[nodiscard]] std::string node_label(std::size_t index, std::size_t n_nodes,
+                                     bool is_farm, bool is_ordered);
 
 // ------------------------------------------------------------ type plumbing
 
@@ -771,6 +778,27 @@ class Plan {
     return total;
   }
 
+  /// Width metadata: ranks per node, source-to-sink (serial nodes 1, farms
+  /// their replica count). This is what the compose layer (core/compose.hpp)
+  /// reads to check a graph against an engine's capacity.
+  [[nodiscard]] std::vector<int> node_widths() const {
+    std::vector<int> widths(kNodes, 1);
+    [&]<std::size_t... Is>(std::index_sequence<Is...>) {
+      ((widths[Is + 1] = node_width(std::get<Is>(mids_))), ...);
+    }(std::make_index_sequence<kMids>{});
+    return widths;
+  }
+
+  /// Nodes in the graph, counting source and sink.
+  [[nodiscard]] static constexpr std::size_t node_count() noexcept {
+    return kNodes;
+  }
+
+  /// The name GraphShapeError reports for node `j` (source = 0).
+  [[nodiscard]] std::string node_label(std::size_t j) const {
+    return detail::node_label(j, kNodes, node_is_farm(j), node_is_ordered(j));
+  }
+
   // ------------------------------------------------------- sequential --
 
   /// Version-1 execution: a plain pull loop. Farm items are dealt to worker
@@ -803,8 +831,18 @@ class Plan {
     int required = 0;
     for (const int w : widths) required += w;
     if (p.size() < required) {
-      throw std::invalid_argument(
-          "pipeline::run_process: world too small for the stage graph");
+      // Name the first node whose rank block does not fit the world.
+      int acc = 0;
+      std::size_t offender = kNodes - 1;
+      for (std::size_t j = 0; j < kNodes; ++j) {
+        acc += widths[j];
+        if (acc > p.size()) {
+          offender = j;
+          break;
+        }
+      }
+      throw GraphShapeError(node_label(offender), required, p.size(),
+                            "run_process: world too small for the stage graph");
     }
     // Every edge gets a private [data, credit] tag pair; rank 0 alone
     // reserves a fresh block from the *world's* recyclable tag space and
@@ -869,13 +907,6 @@ class Plan {
     if (cfg.batch > cfg.queue_capacity) cfg.batch = cfg.queue_capacity;
   }
 
-  [[nodiscard]] std::vector<int> node_widths() const {
-    std::vector<int> widths(kNodes, 1);
-    [&]<std::size_t... Is>(std::index_sequence<Is...>) {
-      ((widths[Is + 1] = node_width(std::get<Is>(mids_))), ...);
-    }(std::make_index_sequence<kMids>{});
-    return widths;
-  }
   template <typename Node>
   static int node_width(const Node& node) {
     if constexpr (detail::is_farm_node<Node>) {
@@ -900,16 +931,20 @@ class Plan {
     //    producer holding the missing seq. ("Ordered after unordered" is
     //    semantically vacuous anyway: the order it would restore is the
     //    nondeterministic completion order.)
-    bool bad_successor = false;
-    bool bad_predecessor = false;
+    std::size_t bad_successor = kNodes;    // node index of the offending farm
+    std::size_t bad_predecessor = kNodes;
     bool in_order = true;  // is the stream still in source-seq order here?
     [&]<std::size_t... Is>(std::index_sequence<Is...>) {
       ((
            [&] {
              if constexpr (detail::is_farm_node<mid_t<Is>>) {
                if (is_ordered<Is>()) {
-                 if (!in_order) bad_predecessor = true;
-                 if (widths[Is + 2] > 1) bad_successor = true;
+                 if (!in_order && bad_predecessor == kNodes) {
+                   bad_predecessor = Is + 1;
+                 }
+                 if (widths[Is + 2] > 1 && bad_successor == kNodes) {
+                   bad_successor = Is + 1;
+                 }
                } else {
                  in_order = false;
                }
@@ -917,17 +952,36 @@ class Plan {
            }(),
        ...));
     }(std::make_index_sequence<kMids>{});
-    if (bad_successor) {
-      throw std::logic_error(
-          "pipeline::run_process: an ordered farm must feed a serial stage "
-          "or the sink (single resequencing consumer)");
+    if (bad_successor < kNodes) {
+      throw GraphShapeError(
+          node_label(bad_successor), 1,
+          widths[bad_successor + 1],
+          "run_process: an ordered farm must feed a serial stage or the sink "
+          "(its resequencing point needs a single consuming rank)");
     }
-    if (bad_predecessor) {
-      throw std::logic_error(
-          "pipeline::run_process: an ordered farm cannot follow an "
-          "unordered farm (its input stream is no longer in sequence "
-          "order)");
+    if (bad_predecessor < kNodes) {
+      throw GraphShapeError(
+          node_label(bad_predecessor), 0, 0,
+          "run_process: an ordered farm cannot follow an unordered farm (its "
+          "input stream is no longer in sequence order)");
     }
+  }
+
+  /// Runtime node-kind queries (for error labels): is graph node `j` a farm,
+  /// and is it ordered? Source, sink, and stages answer false.
+  [[nodiscard]] bool node_is_farm(std::size_t j) const {
+    bool farm = false;
+    [&]<std::size_t... Is>(std::index_sequence<Is...>) {
+      ((farm = farm || (Is + 1 == j && detail::is_farm_node<mid_t<Is>>)), ...);
+    }(std::make_index_sequence<kMids>{});
+    return farm;
+  }
+  [[nodiscard]] bool node_is_ordered(std::size_t j) const {
+    bool ord = false;
+    [&]<std::size_t... Is>(std::index_sequence<Is...>) {
+      ((ord = ord || (Is + 1 == j && is_ordered<Is>())), ...);
+    }(std::make_index_sequence<kMids>{});
+    return ord;
   }
   template <std::size_t I>
   [[nodiscard]] bool is_ordered() const {

@@ -340,4 +340,19 @@ Array2D<T> gather_matrix(mpl::Process& p, const RowDistributed<T>& mat, int root
   return out;
 }
 
+/// Scatter–transform–gather shell: give every rank its row block of a dense
+/// `input`, run `transform(data)` collectively, and assemble the result on
+/// `root` (non-root ranks return an empty array). This is the whole-problem
+/// wrapper every row-distributed spectral driver shares — fft2d_spmd and the
+/// compose-layer component adapters are this shell around fft2d_process.
+template <mpl::Wire T, typename Transform>
+Array2D<T> with_row_distribution(mpl::Process& p, const Array2D<T>& input,
+                                 Transform&& transform, int root = 0) {
+  RowDistributed<T> data(input.rows(), input.cols(), p.size(), p.rank());
+  data.init_from_global(
+      [&input](std::size_t r, std::size_t c) { return input(r, c); });
+  transform(data);
+  return gather_matrix(p, data, root);
+}
+
 }  // namespace ppa::mesh

@@ -205,7 +205,7 @@ void Engine::arm_monitor(JobExec& exec, const JobOptions& options) {
   const auto now = std::chrono::steady_clock::now();
   entry.ctx = &exec.ctx;
   entry.has_deadline = options.deadline.count() > 0;
-  entry.deadline = now + options.deadline;
+  entry.deadline = options.deadline_anchor(now) + options.deadline;
   entry.cancel = options.cancel;
   entry.grace = options.watchdog_grace;
   entry.last_progress = exec.ctx.progress_total();

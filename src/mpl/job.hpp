@@ -91,8 +91,16 @@ class CancelSource {
 /// JobOptions{} submits exactly as the option-free overload does, with zero
 /// monitor interaction.
 struct JobOptions {
-  /// Wall-clock budget measured from submission; zero = unlimited.
+  /// Wall-clock budget measured from `anchor` (or submission); zero =
+  /// unlimited.
   std::chrono::nanoseconds deadline{0};
+  /// Where the deadline clock starts. Default ({}) anchors at submission —
+  /// the serving SLO contract. A composed graph (core/compose.hpp) that
+  /// submits many hosted jobs under one budget sets this to the graph run's
+  /// start, so every hosted job shares the remaining graph budget instead of
+  /// each restarting the clock. An anchor already past its deadline makes the
+  /// submission throw JobDeadlineExceeded without admission.
+  std::chrono::steady_clock::time_point anchor{};
   /// Cancellation handle; an invalid (default) token is never consulted.
   CancelToken cancel{};
   /// Watchdog: abort as stalled when no rank makes progress (completes a
@@ -103,6 +111,13 @@ struct JobOptions {
 
   [[nodiscard]] bool any() const noexcept {
     return deadline.count() > 0 || cancel.valid() || watchdog_grace.count() > 0;
+  }
+
+  /// The instant the deadline clock starts: `anchor` when set, else `now`
+  /// (the moment of submission). Callers pass std::chrono::steady_clock::now().
+  [[nodiscard]] std::chrono::steady_clock::time_point deadline_anchor(
+      std::chrono::steady_clock::time_point now) const noexcept {
+    return anchor == std::chrono::steady_clock::time_point{} ? now : anchor;
   }
 };
 

@@ -112,9 +112,13 @@ TraceSnapshot Scheduler::run_job(int nprocs,
   ticket.priority = priority;
   ticket.has_deadline = options.deadline.count() > 0;
   if (ticket.has_deadline) {
-    // The SLO clock starts at submission: queueing time counts against the
-    // deadline, and only the remaining budget reaches the engine monitor.
-    ticket.deadline = std::chrono::steady_clock::now() + options.deadline;
+    // The SLO clock starts at the anchor — submission by default, earlier
+    // when the caller set one (a composed graph sharing a budget): queueing
+    // time counts against the deadline, and only the remaining budget
+    // reaches the engine monitor.
+    ticket.deadline =
+        options.deadline_anchor(std::chrono::steady_clock::now()) +
+        options.deadline;
   }
   ticket.cancel = options.cancel;
 
@@ -174,6 +178,9 @@ TraceSnapshot Scheduler::run_job(int nprocs,
     engine_options.deadline =
         std::max(std::chrono::duration_cast<std::chrono::nanoseconds>(remaining),
                  std::chrono::nanoseconds(1));
+    // The budget is already remaining-from-now; the engine must not apply
+    // the original anchor a second time.
+    engine_options.anchor = {};
   }
   return dispatch(ticket, body, engine_options);
 }

@@ -29,11 +29,13 @@
 //    run() blocks until space frees up — backpressure, not rejection.
 //  * A queued job whose CancelToken fires is removed without ever running
 //    and its submitter sees JobCancelled.
-//  * A JobOptions::deadline is measured from *submission*: if it expires
-//    while the job is still queued (or blocked on backpressure), the
-//    submitter sees JobDeadlineExceeded without the job ever being
-//    admitted; if the job is granted in time, only the *remaining* budget
-//    is handed to the engine's per-job monitor.
+//  * A JobOptions::deadline is measured from *submission* — or from
+//    JobOptions::anchor when set (a composed graph charging many hosted
+//    jobs against one budget, core/compose.hpp): if it expires while the
+//    job is still queued (or blocked on backpressure), the submitter sees
+//    JobDeadlineExceeded without the job ever being admitted; if the job
+//    is granted in time, only the *remaining* budget is handed to the
+//    engine's per-job monitor.
 //
 // Deadlock rules (the transitive-dependency hazard documented on
 // Engine::try_run_job applies doubly to a queue: a queued job whose

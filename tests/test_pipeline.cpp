@@ -202,6 +202,26 @@ TEST(Pipeline, SpmdIdleExtraRanksAreHarmless) {
 }
 
 TEST(Pipeline, SpmdThrowsWhenWorldTooSmall) {
+  // GraphShapeError derives from std::invalid_argument, so pre-existing
+  // catch sites keep working; the typed fields name the first node whose
+  // rank block does not fit and carry the required-vs-available widths.
+  int caught = 0;
+  try {
+    mpl::spmd_run(2, [&](mpl::Process& p) {
+      long total = 0;
+      auto plan = counting_source(10) |
+                  pipeline::farm(4, [] { return [](long v) { return v; }; },
+                                 pipeline::unordered) |
+                  pipeline::sink([&total](long v) { total += v; });
+      plan.run_process(p);  // needs 6 ranks
+    });
+  } catch (const GraphShapeError& e) {
+    ++caught;
+    EXPECT_EQ(e.node(), "farm#1 (unordered)");
+    EXPECT_EQ(e.required(), 6);
+    EXPECT_EQ(e.available(), 2);
+  }
+  EXPECT_EQ(caught, 1);
   EXPECT_THROW(
       mpl::spmd_run(2, [&](mpl::Process& p) {
         long total = 0;
@@ -209,7 +229,7 @@ TEST(Pipeline, SpmdThrowsWhenWorldTooSmall) {
                     pipeline::farm(4, [] { return [](long v) { return v; }; },
                                    pipeline::unordered) |
                     pipeline::sink([&total](long v) { total += v; });
-        plan.run_process(p);  // needs 6 ranks
+        plan.run_process(p);
       }),
       std::invalid_argument);
 }
@@ -218,20 +238,28 @@ TEST(Pipeline, SpmdRejectsUnorderedFarmBeforeOrderedFarm) {
   // Wire-level resequencing needs the ordered farm's input in seq order; an
   // upstream unordered farm scrambles it, which could starve the credit
   // loop (the sink withholds acks for out-of-order batches while the
-  // producer holding the missing seq waits for credit). Rejected up front.
-  EXPECT_THROW(
-      mpl::spmd_run(8, [&](mpl::Process& p) {
-        long total = 0;
-        auto plan = counting_source(10) |
-                    pipeline::farm(2, [] { return [](long v) { return v; }; },
-                                   pipeline::unordered) |
-                    pipeline::stage([](long v) { return v; }) |
-                    pipeline::farm(2, [] { return [](long v) { return v; }; },
-                                   pipeline::ordered) |
-                    pipeline::sink([&total](long v) { total += v; });
-        plan.run_process(p);
-      }),
-      std::logic_error);
+  // producer holding the missing seq waits for credit). Rejected up front,
+  // with the typed error naming the ordered farm (node 3 of the graph).
+  int caught = 0;
+  try {
+    mpl::spmd_run(8, [&](mpl::Process& p) {
+      long total = 0;
+      auto plan = counting_source(10) |
+                  pipeline::farm(2, [] { return [](long v) { return v; }; },
+                                 pipeline::unordered) |
+                  pipeline::stage([](long v) { return v; }) |
+                  pipeline::farm(2, [] { return [](long v) { return v; }; },
+                                 pipeline::ordered) |
+                  pipeline::sink([&total](long v) { total += v; });
+      plan.run_process(p);
+    });
+  } catch (const GraphShapeError& e) {
+    ++caught;
+    EXPECT_EQ(e.node(), "farm#3 (ordered)");
+  } catch (const std::logic_error&) {
+    ADD_FAILURE() << "expected the typed GraphShapeError";
+  }
+  EXPECT_EQ(caught, 1);
 }
 
 TEST(Pipeline, ZeroFarmWidthIsClampedToOne) {
@@ -256,18 +284,48 @@ TEST(Pipeline, ZeroFarmWidthIsClampedToOne) {
 }
 
 TEST(Pipeline, SpmdRejectsOrderedFarmIntoFarm) {
-  EXPECT_THROW(
-      mpl::spmd_run(8, [&](mpl::Process& p) {
-        long total = 0;
-        auto plan = counting_source(10) |
-                    pipeline::farm(2, [] { return [](long v) { return v; }; },
-                                   pipeline::ordered) |
-                    pipeline::farm(3, [] { return [](long v) { return v; }; },
-                                   pipeline::unordered) |
-                    pipeline::sink([&total](long v) { total += v; });
-        plan.run_process(p);
-      }),
-      std::logic_error);
+  // The typed error names the ordered farm and carries the width story:
+  // its resequencing point needs one consuming rank, but the successor
+  // farm is 3 wide.
+  int caught = 0;
+  try {
+    mpl::spmd_run(8, [&](mpl::Process& p) {
+      long total = 0;
+      auto plan = counting_source(10) |
+                  pipeline::farm(2, [] { return [](long v) { return v; }; },
+                                 pipeline::ordered) |
+                  pipeline::farm(3, [] { return [](long v) { return v; }; },
+                                 pipeline::unordered) |
+                  pipeline::sink([&total](long v) { total += v; });
+      plan.run_process(p);
+    });
+  } catch (const GraphShapeError& e) {
+    ++caught;
+    EXPECT_EQ(e.node(), "farm#1 (ordered)");
+    EXPECT_EQ(e.required(), 1);
+    EXPECT_EQ(e.available(), 3);
+  } catch (const std::logic_error&) {
+    ADD_FAILURE() << "expected the typed GraphShapeError";
+  }
+  EXPECT_EQ(caught, 1);
+}
+
+TEST(Pipeline, NodeWidthMetadataIsExposed) {
+  // The compose layer reads per-node rank widths off the plan; pin the
+  // source-to-sink order and the farm replica counts.
+  long total = 0;
+  auto plan = counting_source(10) | pipeline::stage([](long v) { return v; }) |
+              pipeline::farm(3, [] { return [](long v) { return v; }; },
+                             pipeline::unordered) |
+              pipeline::sink([&total](long v) { total += v; });
+  const std::vector<int> want{1, 1, 3, 1};
+  EXPECT_EQ(plan.node_widths(), want);
+  EXPECT_EQ(plan.node_count(), 4u);
+  EXPECT_EQ(plan.ranks_required(), 6);
+  EXPECT_EQ(plan.node_label(0), "source");
+  EXPECT_EQ(plan.node_label(1), "stage#1");
+  EXPECT_EQ(plan.node_label(2), "farm#2 (unordered)");
+  EXPECT_EQ(plan.node_label(3), "sink");
 }
 
 TEST(Pipeline, FarmIntoFarmDoesNotDeadlockUnderTinyQueues) {
