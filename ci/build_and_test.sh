@@ -59,6 +59,9 @@ echo "==> serving scheduler ablation (smoke)"
 echo "==> composition ablation (smoke)"
 (cd "$BUILD_DIR" && PPA_BENCH_SMOKE=1 ./ablation_compose)
 
+echo "==> kernel-layer ablation (smoke)"
+(cd "$BUILD_DIR" && PPA_BENCH_SMOKE=1 ./ablation_kernels)
+
 test -s "$BUILD_DIR/BENCH_substrate.json" || {
   echo "missing $BUILD_DIR/BENCH_substrate.json" >&2
   exit 1
@@ -95,6 +98,10 @@ test -s "$BUILD_DIR/BENCH_compose.json" || {
   echo "missing $BUILD_DIR/BENCH_compose.json" >&2
   exit 1
 }
+test -s "$BUILD_DIR/BENCH_kernels.json" || {
+  echo "missing $BUILD_DIR/BENCH_kernels.json" >&2
+  exit 1
+}
 
 # The committed overhead record (measured full-mode against a same-session
 # pre-instrumentation baseline — CI's smoke run above is too noisy to gate
@@ -114,6 +121,34 @@ awk '
   }
   END { if (!found) { print "no faults/summary row in BENCH_faults.json"; exit 1 } }
 ' BENCH_faults.json
+
+# The committed kernel-layer record (measured full-mode; smoke numbers are
+# too noisy to gate on) must show the layout-aware paths actually winning:
+# column tiling beats the naive sweep on the L2-overflow shape, and the
+# kernel sweeps beat the legacy per-point loops on the fig15/16/17 shapes.
+echo "==> kernel-layer record (committed BENCH_kernels.json)"
+awk '
+  /"name": "kernels\/summary"/ {
+    found = 1
+    if (match($0, /"tiled_vs_naive_ratio": [0-9.]+/)) {
+      ratio = substr($0, RSTART + 24, RLENGTH - 24) + 0
+      if (ratio <= 1.0) {
+        printf "committed tiled-vs-naive ratio %.3fx is not > 1.0x\n", ratio
+        exit 1
+      }
+      printf "committed tiled-vs-naive ratio: %.3fx (> 1.0x required)\n", ratio
+    }
+    if (match($0, /"geomean_kernel_speedup": [0-9.]+/)) {
+      sp = substr($0, RSTART + 26, RLENGTH - 26) + 0
+      if (sp <= 1.0) {
+        printf "committed kernel-vs-legacy geomean %.3fx is not > 1.0x\n", sp
+        exit 1
+      }
+      printf "committed kernel-vs-legacy geomean: %.3fx (> 1.0x required)\n", sp
+    }
+  }
+  END { if (!found) { print "no kernels/summary row in BENCH_kernels.json"; exit 1 } }
+' BENCH_kernels.json
 
 # ThreadSanitizer leg: the engine's monitor/abort/fault paths are the racy
 # part of the codebase; vet them under TSan when the toolchain supports it

@@ -6,6 +6,9 @@
 // CMakeLists.txt). Any warning introduced in src/meshspectral/ fails the
 // build here even if no test or app happens to instantiate the offending
 // code path.
+#include <array>
+#include <utility>
+
 #include "meshspectral/meshspectral.hpp"
 
 namespace ppa::mesh {
@@ -19,6 +22,12 @@ template class MeshBlock<double>;
 template class MeshBlock<float>;
 template class BlockSet<double>;
 template class BlockSet<float>;
+template struct FieldView2D<double>;
+template struct FieldView2D<const double>;
+template struct FieldView3D<double>;
+template struct FieldView3D<const double>;
+template class SoAField2D<double>;
+template class SoAField2D<float>;
 
 namespace {
 
@@ -96,6 +105,43 @@ namespace {
   (void)bplan.local_copy_count();
   (void)gather_blocks(p, bs);
   scatter_blocks(p, Array2D<double>(8, 8), bs);
+
+  // Kernel layer: field views, sweep drivers, row kernels, SoA field.
+  static_assert(ppa::padded_stride<double>(10) % 8 == 0);
+  auto v2 = field_view(g2);
+  auto cv2 = field_view(std::as_const(g2));
+  auto v3 = field_view(g3);
+  auto cv3 = field_view(std::as_const(g3));
+  (void)cv3;
+  (void)v2.row(0);
+  (void)v3.pencil(0, 0);
+  const Region2 r2 = interior_region(g2);
+  const Region3 r3 = interior_region(g3);
+  kern::sweep_rows(r2, [](std::ptrdiff_t, std::ptrdiff_t, std::ptrdiff_t) {});
+  static_assert(kern::auto_tile_j(5 * sizeof(double), 1024) == 0);
+  static_assert(kern::auto_tile_j(5 * sizeof(double), 1 << 20) ==
+                kern::default_tile_j(5 * sizeof(double)));
+  kern::sweep_rows_tiled(r2, kern::default_tile_j(5 * sizeof(double)),
+                         [](std::ptrdiff_t, std::ptrdiff_t, std::ptrdiff_t) {});
+  kern::sweep_rim_rows(r2, core_region(g2, 1),
+                       [](std::ptrdiff_t, std::ptrdiff_t, std::ptrdiff_t) {});
+  kern::sweep_pencils(
+      r3, [](std::ptrdiff_t, std::ptrdiff_t, std::ptrdiff_t, std::ptrdiff_t) {});
+  kern::sweep_rim_pencils(
+      r3, core_region(g3, 1),
+      [](std::ptrdiff_t, std::ptrdiff_t, std::ptrdiff_t, std::ptrdiff_t) {});
+  auto ov = field_view(out);
+  kern::jacobi_sweep(ov, cv2, cv2, 0.25, core_region(g2, 1));
+  kern::jacobi_sweep_tiled(ov, cv2, cv2, 0.25, core_region(g2, 1));
+  kern::jacobi_row(ov.row(1), cv2.row(0), cv2.row(1), cv2.row(2), cv2.row(1),
+                   0.25, 1, 7);
+  (void)kern::absdiff_max_row(ov.row(1), cv2.row(1), 0, 8, 0.0);
+  kern::copy_row(ov.row(0), cv2.row(0), 0, 8);
+  SoAField2D<double> soa(8, 8, 1, 4);
+  Grid2D<std::array<double, 4>> aos(8, 8, 1);
+  soa.from_aos(aos);
+  soa.to_aos(aos);
+  (void)soa.component(0);
 }
 
 }  // namespace

@@ -76,6 +76,11 @@ struct CfdConfig {
   /// true: fully periodic box (conservation testing); false: inflow at x=0
   /// (post-shock state), outflow at x=lx, periodic in y (the scenario).
   bool periodic_x = false;
+
+  /// Sweep implementation: row kernels with hoisted row pointers and a
+  /// y-face flux carry (kernels.hpp) or the legacy per-point loops.
+  /// Bitwise-identical results either way (pinned by tests).
+  mesh::SweepMode sweep = mesh::SweepMode::kKernel;
 };
 
 /// Post-shock primitive state from the Rankine–Hugoniot relations for a

@@ -105,16 +105,107 @@ void FdtdSim::update_e_at(std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k) 
                    (hx_(i, j, k) - hx_(i, j - 1, k)));
 }
 
+void FdtdSim::update_h_pencil(std::ptrdiff_t i, std::ptrdiff_t j,
+                              std::ptrdiff_t k0, std::ptrdiff_t k1) {
+  // Pencil form of update_h_at: base pointers hoisted once per (i, j),
+  // then three unit-stride k loops over raw pointers. Each H component's
+  // update reads only E, so splitting the per-point triple into
+  // per-component loops cannot change any computed value; the per-element
+  // expressions are identical to update_h_at.
+  double* PPA_RESTRICT hx = hx_.pencil(i, j);
+  double* PPA_RESTRICT hy = hy_.pencil(i, j);
+  double* PPA_RESTRICT hz = hz_.pencil(i, j);
+  const double* PPA_RESTRICT ex0 = ex_.pencil(i, j);
+  const double* PPA_RESTRICT ex_jp = ex_.pencil(i, j + 1);
+  const double* PPA_RESTRICT ey0 = ey_.pencil(i, j);
+  const double* PPA_RESTRICT ey_ip = ey_.pencil(i + 1, j);
+  const double* PPA_RESTRICT ez0 = ez_.pencil(i, j);
+  const double* PPA_RESTRICT ez_ip = ez_.pencil(i + 1, j);
+  const double* PPA_RESTRICT ez_jp = ez_.pencil(i, j + 1);
+  const double dt = dt_;
+  for (std::ptrdiff_t k = k0; k < k1; ++k) {
+    hx[k] += dt * ((ey0[k + 1] - ey0[k]) - (ez_jp[k] - ez0[k]));
+  }
+  for (std::ptrdiff_t k = k0; k < k1; ++k) {
+    hy[k] += dt * ((ez_ip[k] - ez0[k]) - (ex0[k + 1] - ex0[k]));
+  }
+  for (std::ptrdiff_t k = k0; k < k1; ++k) {
+    hz[k] += dt * ((ex_jp[k] - ex0[k]) - (ey_ip[k] - ey0[k]));
+  }
+}
+
+void FdtdSim::update_e_pencil(std::ptrdiff_t i, std::ptrdiff_t j,
+                              std::ptrdiff_t k0, std::ptrdiff_t k1) {
+  // Pencil form of update_e_at (E reads only H and the material map).
+  double* PPA_RESTRICT ex = ex_.pencil(i, j);
+  double* PPA_RESTRICT ey = ey_.pencil(i, j);
+  double* PPA_RESTRICT ez = ez_.pencil(i, j);
+  const double* PPA_RESTRICT hx0 = hx_.pencil(i, j);
+  const double* PPA_RESTRICT hx_jm = hx_.pencil(i, j - 1);
+  const double* PPA_RESTRICT hy0 = hy_.pencil(i, j);
+  const double* PPA_RESTRICT hy_im = hy_.pencil(i - 1, j);
+  const double* PPA_RESTRICT hz0 = hz_.pencil(i, j);
+  const double* PPA_RESTRICT hz_im = hz_.pencil(i - 1, j);
+  const double* PPA_RESTRICT hz_jm = hz_.pencil(i, j - 1);
+  const double* PPA_RESTRICT ie = inv_eps_.pencil(i, j);
+  const double dt = dt_;
+  for (std::ptrdiff_t k = k0; k < k1; ++k) {
+    ex[k] += dt * ie[k] * ((hz0[k] - hz_jm[k]) - (hy0[k] - hy0[k - 1]));
+  }
+  for (std::ptrdiff_t k = k0; k < k1; ++k) {
+    ey[k] += dt * ie[k] * ((hx0[k] - hx0[k - 1]) - (hz0[k] - hz_im[k]));
+  }
+  for (std::ptrdiff_t k = k0; k < k1; ++k) {
+    ez[k] += dt * ie[k] * ((hy0[k] - hy_im[k]) - (hx0[k] - hx_jm[k]));
+  }
+}
+
 void FdtdSim::update_h(const mesh::Region3& r) {
+  if (cfg_.sweep == mesh::SweepMode::kKernel) {
+    mesh::kern::sweep_pencils(r, [&](std::ptrdiff_t i, std::ptrdiff_t j,
+                                     std::ptrdiff_t k0, std::ptrdiff_t k1) {
+      update_h_pencil(i, j, k0, k1);
+    });
+    return;
+  }
   mesh::for_region(r, [&](std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k) {
     update_h_at(i, j, k);
   });
 }
 
 void FdtdSim::update_e(const mesh::Region3& r) {
+  if (cfg_.sweep == mesh::SweepMode::kKernel) {
+    mesh::kern::sweep_pencils(r, [&](std::ptrdiff_t i, std::ptrdiff_t j,
+                                     std::ptrdiff_t k0, std::ptrdiff_t k1) {
+      update_e_pencil(i, j, k0, k1);
+    });
+    return;
+  }
   mesh::for_region(r, [&](std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k) {
     update_e_at(i, j, k);
   });
+}
+
+void FdtdSim::update_h_rim(const mesh::Region3& all, const mesh::Region3& core) {
+  if (cfg_.sweep == mesh::SweepMode::kKernel) {
+    mesh::kern::sweep_rim_pencils(
+        all, core, [&](std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k0,
+                       std::ptrdiff_t k1) { update_h_pencil(i, j, k0, k1); });
+    return;
+  }
+  mesh::for_rim(all, core, [&](std::ptrdiff_t i, std::ptrdiff_t j,
+                               std::ptrdiff_t k) { update_h_at(i, j, k); });
+}
+
+void FdtdSim::update_e_rim(const mesh::Region3& all, const mesh::Region3& core) {
+  if (cfg_.sweep == mesh::SweepMode::kKernel) {
+    mesh::kern::sweep_rim_pencils(
+        all, core, [&](std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k0,
+                       std::ptrdiff_t k1) { update_e_pencil(i, j, k0, k1); });
+    return;
+  }
+  mesh::for_rim(all, core, [&](std::ptrdiff_t i, std::ptrdiff_t j,
+                               std::ptrdiff_t k) { update_e_at(i, j, k); });
 }
 
 void FdtdSim::apply_pec() {
@@ -176,14 +267,12 @@ void FdtdSim::step() {
   begin_exchange_e();
   update_h(core);
   end_exchange_e();
-  mesh::for_rim(all, core, [&](std::ptrdiff_t i, std::ptrdiff_t j,
-                               std::ptrdiff_t k) { update_h_at(i, j, k); });
+  update_h_rim(all, core);
 
   begin_exchange_h();
   update_e(core);
   end_exchange_h();
-  mesh::for_rim(all, core, [&](std::ptrdiff_t i, std::ptrdiff_t j,
-                               std::ptrdiff_t k) { update_e_at(i, j, k); });
+  update_e_rim(all, core);
 
   if (source_enabled_) {
     // Soft source: additive sinusoid with a smooth turn-on ramp.

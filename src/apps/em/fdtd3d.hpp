@@ -50,6 +50,10 @@ struct EmConfig {
   double source_period = 20.0; ///< steps per source oscillation
   /// Source location (cell indices); defaults to the x=n/4 plane center.
   std::size_t src_i = 8, src_j = 16, src_k = 16;
+  /// Sweep implementation: unit-stride z-pencil kernels over raw pointers
+  /// (kernels.hpp) or the legacy per-point loops. Bitwise-identical results
+  /// either way (pinned by tests).
+  mesh::SweepMode sweep = mesh::SweepMode::kKernel;
 };
 
 class FdtdSim {
@@ -82,8 +86,14 @@ class FdtdSim {
  private:
   void update_h_at(std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k);
   void update_e_at(std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k);
+  void update_h_pencil(std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k0,
+                       std::ptrdiff_t k1);
+  void update_e_pencil(std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k0,
+                       std::ptrdiff_t k1);
   void update_h(const mesh::Region3& r);
   void update_e(const mesh::Region3& r);
+  void update_h_rim(const mesh::Region3& all, const mesh::Region3& core);
+  void update_e_rim(const mesh::Region3& all, const mesh::Region3& core);
   void apply_pec();
   void begin_exchange_e();
   void end_exchange_e();

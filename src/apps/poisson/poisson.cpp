@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace ppa::app {
 
@@ -115,6 +116,18 @@ PoissonResult poisson_process(mpl::Process& p, const mpl::CartGrid2D& pgrid,
                 0.25;
   };
 
+  // Kernel path: raw row-pointer views over the same storage; identical
+  // per-element expression (h2 == h*h bitwise), column-tiled core sweep.
+  auto ukpv = mesh::field_view(ukp);
+  const auto ukv = mesh::field_view(std::as_const(uk));
+  const auto fvv = mesh::field_view(std::as_const(fv));
+  const double h2 = h * h;
+  const auto jacobi_rows = [&](std::ptrdiff_t i, std::ptrdiff_t j0,
+                               std::ptrdiff_t j1) {
+    mesh::kern::jacobi_row(ukpv.row(i), ukv.row(i - 1), ukv.row(i),
+                           ukv.row(i + 1), fvv.row(i), h2, j0, j1);
+  };
+
   PoissonResult result;
   while (diffmax.get() > prob.tolerance && result.iterations < prob.max_iters) {
     // Precondition of the stencil grid operation: fresh shadow copies —
@@ -124,22 +137,44 @@ PoissonResult poisson_process(mpl::Process& p, const mpl::CartGrid2D& pgrid,
     // Grid operation over the local section of the interior: core while the
     // exchange is in flight, rim after it completes. Per-point arithmetic
     // is identical to the blocking schedule (bitwise-equal iterates).
-    mesh::for_region(core, jacobi_point);
-    plan.end_exchange(p, uk);
-    mesh::for_rim(update, core, jacobi_point);
+    if (prob.sweep == mesh::SweepMode::kKernel) {
+      mesh::kern::sweep_rows_tiled(
+          core, mesh::kern::auto_tile_j(5 * sizeof(double), core.j1 - core.j0),
+          jacobi_rows);
+      plan.end_exchange(p, uk);
+      mesh::kern::sweep_rim_rows(update, core, jacobi_rows);
+    } else {
+      mesh::for_region(core, jacobi_point);
+      plan.end_exchange(p, uk);
+      mesh::for_rim(update, core, jacobi_point);
+    }
 
     // Reduction: local max then allreduce; postcondition re-establishes the
     // copy consistency of diffmax on every process.
     double local_diffmax = 0.0;
-    for (std::ptrdiff_t i = ilo; i < ihi; ++i) {
-      for (std::ptrdiff_t j = jlo; j < jhi; ++j) {
-        local_diffmax = std::max(local_diffmax, std::abs(ukp(i, j) - uk(i, j)));
+    if (prob.sweep == mesh::SweepMode::kKernel) {
+      for (std::ptrdiff_t i = ilo; i < ihi; ++i) {
+        local_diffmax = mesh::kern::absdiff_max_row(ukpv.row(i), ukv.row(i),
+                                                    jlo, jhi, local_diffmax);
+      }
+    } else {
+      for (std::ptrdiff_t i = ilo; i < ihi; ++i) {
+        for (std::ptrdiff_t j = jlo; j < jhi; ++j) {
+          local_diffmax = std::max(local_diffmax, std::abs(ukp(i, j) - uk(i, j)));
+        }
       }
     }
     diffmax.store_replicated(p, p.allreduce(local_diffmax, mpl::MaxOp{}));
 
-    for (std::ptrdiff_t i = ilo; i < ihi; ++i) {
-      for (std::ptrdiff_t j = jlo; j < jhi; ++j) uk(i, j) = ukp(i, j);
+    if (prob.sweep == mesh::SweepMode::kKernel) {
+      auto ukw = mesh::field_view(uk);
+      for (std::ptrdiff_t i = ilo; i < ihi; ++i) {
+        mesh::kern::copy_row(ukw.row(i), ukpv.row(i), jlo, jhi);
+      }
+    } else {
+      for (std::ptrdiff_t i = ilo; i < ihi; ++i) {
+        for (std::ptrdiff_t j = jlo; j < jhi; ++j) uk(i, j) = ukp(i, j);
+      }
     }
     ++result.iterations;
   }
@@ -198,10 +233,35 @@ PoissonResult poisson_blocks_process(mpl::Process& p,
   mesh::BlockExchangePlan2D plan(
       uk, mesh::BlockExchangeOptions{false, 0, batched, false, 0.0});
 
+  const double h2 = h * h;
+  // Per-block row-kernel sweep over a region (same kernels as the
+  // single-grid path, so block-set drivers pick up the win automatically).
+  const auto jacobi_block_rows = [&](std::size_t b, mesh::Region2 r,
+                                     bool tiled) {
+    auto ukpv = mesh::field_view(ukp.block(b).grid());
+    const auto ukv = mesh::field_view(std::as_const(uk.block(b).grid()));
+    const auto fvv = mesh::field_view(std::as_const(fv.block(b).grid()));
+    const auto rows = [&](std::ptrdiff_t i, std::ptrdiff_t j0,
+                          std::ptrdiff_t j1) {
+      mesh::kern::jacobi_row(ukpv.row(i), ukv.row(i - 1), ukv.row(i),
+                             ukv.row(i + 1), fvv.row(i), h2, j0, j1);
+    };
+    if (tiled) {
+      mesh::kern::sweep_rows_tiled(
+          r, mesh::kern::auto_tile_j(5 * sizeof(double), r.j1 - r.j0), rows);
+    } else {
+      mesh::kern::sweep_rim_rows(update[b], core[b], rows);
+    }
+  };
+
   PoissonResult result;
   while (diffmax.get() > prob.tolerance && result.iterations < prob.max_iters) {
     plan.begin_exchange_all(p, uk);
     for (std::size_t b = 0; b < uk.size(); ++b) {
+      if (prob.sweep == mesh::SweepMode::kKernel) {
+        jacobi_block_rows(b, core[b], /*tiled=*/true);
+        continue;
+      }
       auto& ukg = uk.block(b).grid();
       auto& ukpg = ukp.block(b).grid();
       auto& fvg = fv.block(b).grid();
@@ -213,6 +273,10 @@ PoissonResult poisson_blocks_process(mpl::Process& p,
     }
     plan.end_exchange_all(p, uk);
     for (std::size_t b = 0; b < uk.size(); ++b) {
+      if (prob.sweep == mesh::SweepMode::kKernel) {
+        jacobi_block_rows(b, update[b], /*tiled=*/false);
+        continue;
+      }
       auto& ukg = uk.block(b).grid();
       auto& ukpg = ukp.block(b).grid();
       auto& fvg = fv.block(b).grid();
@@ -228,6 +292,15 @@ PoissonResult poisson_blocks_process(mpl::Process& p,
       auto& ukg = uk.block(b).grid();
       auto& ukpg = ukp.block(b).grid();
       const auto& u = update[b];
+      if (prob.sweep == mesh::SweepMode::kKernel) {
+        const auto ukv = mesh::field_view(std::as_const(ukg));
+        const auto ukpv = mesh::field_view(std::as_const(ukpg));
+        for (std::ptrdiff_t i = u.i0; i < u.i1; ++i) {
+          local_diffmax = mesh::kern::absdiff_max_row(ukpv.row(i), ukv.row(i),
+                                                      u.j0, u.j1, local_diffmax);
+        }
+        continue;
+      }
       for (std::ptrdiff_t i = u.i0; i < u.i1; ++i) {
         for (std::ptrdiff_t j = u.j0; j < u.j1; ++j) {
           local_diffmax =
@@ -241,6 +314,14 @@ PoissonResult poisson_blocks_process(mpl::Process& p,
       auto& ukg = uk.block(b).grid();
       auto& ukpg = ukp.block(b).grid();
       const auto& u = update[b];
+      if (prob.sweep == mesh::SweepMode::kKernel) {
+        auto ukw = mesh::field_view(ukg);
+        const auto ukpv = mesh::field_view(std::as_const(ukpg));
+        for (std::ptrdiff_t i = u.i0; i < u.i1; ++i) {
+          mesh::kern::copy_row(ukw.row(i), ukpv.row(i), u.j0, u.j1);
+        }
+        continue;
+      }
       for (std::ptrdiff_t i = u.i0; i < u.i1; ++i) {
         for (std::ptrdiff_t j = u.j0; j < u.j1; ++j) ukg(i, j) = ukpg(i, j);
       }

@@ -44,6 +44,10 @@ struct PoissonProblem {
   /// unit square (x = i/(nx-1), y = j/(ny-1)).
   std::function<double(double, double)> f = [](double, double) { return 0.0; };
   std::function<double(double, double)> g = [](double, double) { return 0.0; };
+  /// Sweep implementation: tiled row kernels (kernels.hpp) or the legacy
+  /// per-point loops. Bitwise-identical results either way (pinned by
+  /// tests/test_kernels.cpp); the kernel path is simply faster.
+  mesh::SweepMode sweep = mesh::SweepMode::kKernel;
 };
 
 struct PoissonResult {

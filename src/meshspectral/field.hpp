@@ -1,0 +1,181 @@
+// ppa/meshspectral/field.hpp
+//
+// Raw-pointer field views over Grid2D/Grid3D for the kernel layer
+// (kernels.hpp), plus an SoA multi-component field for layout experiments.
+//
+// A FieldView is a non-owning {base, stride, shape} triple exposing the
+// grid's padded storage directly: `view.row(i)[j]` is the same element as
+// `grid(i, j)` but with the row base hoistable out of inner loops, so
+// sweeps compile to contiguous unit-stride loops over raw pointers.
+// Alignment contract (inherited from the grid containers, see
+// support/aligned.hpp): the base pointer is kGridAlignment-aligned and the
+// stride is a padded multiple, so every row/pencil base is aligned too.
+//
+// Views borrow — they are valid only while the grid they were taken from is
+// alive and unresized. Taking a view from a const grid yields a view over
+// const elements.
+//
+// SoAField2D stores one padded plane per component (structure-of-arrays)
+// where Grid2D<std::array<T, NC>> interleaves components per cell
+// (array-of-structures). The ablation bench A/Bs the two layouts; apps keep
+// AoS cells on the wire (one pack buffer per grid) and can view per-cell
+// components without converting.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "meshspectral/grid2d.hpp"
+#include "meshspectral/grid3d.hpp"
+#include "support/aligned.hpp"
+
+namespace ppa::mesh {
+
+/// Non-owning strided 2-D view; T may be const-qualified.
+template <typename T>
+struct FieldView2D {
+  T* base = nullptr;  ///< pointer to element (0, 0)
+  std::size_t stride = 0;
+  std::size_t nx = 0;
+  std::size_t ny = 0;
+  std::size_t ghost = 0;
+
+  /// row(i)[j] addresses element (i, j); valid for i in [-ghost, nx+ghost),
+  /// j in [-ghost, ny+ghost).
+  [[nodiscard]] T* row(std::ptrdiff_t i) const noexcept {
+    assert(i >= -static_cast<std::ptrdiff_t>(ghost) &&
+           i < static_cast<std::ptrdiff_t>(nx + ghost));
+    return base + i * static_cast<std::ptrdiff_t>(stride);
+  }
+  [[nodiscard]] T& operator()(std::ptrdiff_t i, std::ptrdiff_t j) const noexcept {
+    return row(i)[j];
+  }
+};
+
+/// Non-owning strided 3-D view; pencil(i, j) is the z-contiguous pencil.
+template <typename T>
+struct FieldView3D {
+  T* base = nullptr;  ///< pointer to element (0, 0, 0)
+  std::size_t stride_i = 0;  ///< element distance between i-planes
+  std::size_t stride_j = 0;  ///< element distance between j-pencils
+  std::size_t nx = 0;
+  std::size_t ny = 0;
+  std::size_t nz = 0;
+  std::size_t ghost = 0;
+
+  [[nodiscard]] T* pencil(std::ptrdiff_t i, std::ptrdiff_t j) const noexcept {
+    assert(i >= -static_cast<std::ptrdiff_t>(ghost) &&
+           i < static_cast<std::ptrdiff_t>(nx + ghost));
+    assert(j >= -static_cast<std::ptrdiff_t>(ghost) &&
+           j < static_cast<std::ptrdiff_t>(ny + ghost));
+    return base + i * static_cast<std::ptrdiff_t>(stride_i) +
+           j * static_cast<std::ptrdiff_t>(stride_j);
+  }
+  [[nodiscard]] T& operator()(std::ptrdiff_t i, std::ptrdiff_t j,
+                              std::ptrdiff_t k) const noexcept {
+    return pencil(i, j)[k];
+  }
+};
+
+template <typename T>
+[[nodiscard]] FieldView2D<T> field_view(Grid2D<T>& g) noexcept {
+  return {g.row(0), g.row_stride(), g.nx(), g.ny(), g.ghost()};
+}
+template <typename T>
+[[nodiscard]] FieldView2D<const T> field_view(const Grid2D<T>& g) noexcept {
+  return {g.row(0), g.row_stride(), g.nx(), g.ny(), g.ghost()};
+}
+
+template <typename T>
+[[nodiscard]] FieldView3D<T> field_view(Grid3D<T>& g) noexcept {
+  return {g.pencil(0, 0), (g.ny() + 2 * g.ghost()) * g.pencil_stride(),
+          g.pencil_stride(), g.nx(), g.ny(), g.nz(), g.ghost()};
+}
+template <typename T>
+[[nodiscard]] FieldView3D<const T> field_view(const Grid3D<T>& g) noexcept {
+  return {g.pencil(0, 0), (g.ny() + 2 * g.ghost()) * g.pencil_stride(),
+          g.pencil_stride(), g.nx(), g.ny(), g.nz(), g.ghost()};
+}
+
+/// Structure-of-arrays multi-component 2-D field: ncomp independent padded
+/// planes sharing one aligned allocation, each addressable as a
+/// FieldView2D<T>. Mirror of Grid2D's ghost/padding layout.
+template <typename T>
+class SoAField2D {
+ public:
+  SoAField2D() = default;
+  SoAField2D(std::size_t nx, std::size_t ny, std::size_t ghost,
+             std::size_t ncomp)
+      : nx_(nx), ny_(ny), ghost_(ghost), ncomp_(ncomp) {
+    row_stride_ = padded_stride<T>(ny + 2 * ghost);
+    plane_stride_ = (nx + 2 * ghost) * row_stride_;
+    storage_.assign(ncomp * plane_stride_, T{});
+  }
+
+  [[nodiscard]] std::size_t nx() const noexcept { return nx_; }
+  [[nodiscard]] std::size_t ny() const noexcept { return ny_; }
+  [[nodiscard]] std::size_t ghost() const noexcept { return ghost_; }
+  [[nodiscard]] std::size_t ncomp() const noexcept { return ncomp_; }
+
+  [[nodiscard]] FieldView2D<T> component(std::size_t c) noexcept {
+    assert(c < ncomp_);
+    return {plane_base(c), row_stride_, nx_, ny_, ghost_};
+  }
+  [[nodiscard]] FieldView2D<const T> component(std::size_t c) const noexcept {
+    assert(c < ncomp_);
+    return {plane_base(c), row_stride_, nx_, ny_, ghost_};
+  }
+
+  /// Scatter an AoS grid (std::array cells) into the component planes,
+  /// ghosts included.
+  template <std::size_t NC>
+  void from_aos(const Grid2D<std::array<T, NC>>& g) {
+    assert(NC == ncomp_ && g.nx() == nx_ && g.ny() == ny_ && g.ghost() == ghost_);
+    const auto gd = static_cast<std::ptrdiff_t>(ghost_);
+    for (std::size_t c = 0; c < NC; ++c) {
+      auto v = component(c);
+      for (std::ptrdiff_t i = -gd; i < static_cast<std::ptrdiff_t>(nx_) + gd; ++i) {
+        const std::array<T, NC>* src = g.row(i);
+        T* dst = v.row(i);
+        for (std::ptrdiff_t j = -gd; j < static_cast<std::ptrdiff_t>(ny_) + gd; ++j)
+          dst[j] = src[j][c];
+      }
+    }
+  }
+
+  /// Gather the component planes back into an AoS grid, ghosts included.
+  template <std::size_t NC>
+  void to_aos(Grid2D<std::array<T, NC>>& g) const {
+    assert(NC == ncomp_ && g.nx() == nx_ && g.ny() == ny_ && g.ghost() == ghost_);
+    const auto gd = static_cast<std::ptrdiff_t>(ghost_);
+    for (std::size_t c = 0; c < NC; ++c) {
+      auto v = component(c);
+      for (std::ptrdiff_t i = -gd; i < static_cast<std::ptrdiff_t>(nx_) + gd; ++i) {
+        const T* src = v.row(i);
+        std::array<T, NC>* dst = g.row(i);
+        for (std::ptrdiff_t j = -gd; j < static_cast<std::ptrdiff_t>(ny_) + gd; ++j)
+          dst[j][c] = src[j];
+      }
+    }
+  }
+
+ private:
+  [[nodiscard]] T* plane_base(std::size_t c) noexcept {
+    return storage_.data() + c * plane_stride_ + ghost_ * row_stride_ + ghost_;
+  }
+  [[nodiscard]] const T* plane_base(std::size_t c) const noexcept {
+    return storage_.data() + c * plane_stride_ + ghost_ * row_stride_ + ghost_;
+  }
+
+  std::size_t nx_ = 0;
+  std::size_t ny_ = 0;
+  std::size_t ghost_ = 0;
+  std::size_t ncomp_ = 0;
+  std::size_t row_stride_ = 0;
+  std::size_t plane_stride_ = 0;
+  std::vector<T, AlignedAllocator<T>> storage_;
+};
+
+}  // namespace ppa::mesh

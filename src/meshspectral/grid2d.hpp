@@ -11,6 +11,14 @@
 // >= nx_local/ny_local (up to the ghost width), which makes stencil code read
 // exactly like its sequential counterpart:  u(i-1, j) + u(i+1, j) + ...
 //
+// Storage layout: rows are padded so each row starts on a cache-line
+// boundary (base pointer 64-byte aligned, row stride rounded up with
+// ppa::padded_stride). `row(i)` exposes the row base pointer for the kernel
+// layer (field.hpp / kernels.hpp); `row_stride()` is the element distance
+// between consecutive rows. Padding cells are value-initialized, never read,
+// and never packed — pack_region/unpack_region copy row segments and are
+// therefore identical on padded and unpadded layouts.
+//
 // Thread-safety and ownership: a Grid2D is owned by exactly one rank
 // (thread) — the container performs no synchronization and no communication
 // itself; ghost refresh goes through exchange.hpp / plan.hpp. pack_region
@@ -18,12 +26,14 @@
 // unpack_region accepts a borrowed span. Accessors never block.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <span>
 #include <vector>
 
 #include "mpl/topology.hpp"
+#include "support/aligned.hpp"
 #include "support/ndarray.hpp"
 #include "support/partition.hpp"
 
@@ -46,8 +56,7 @@ class Grid2D {
                            static_cast<std::size_t>(px));
     y_range_ = block_range(global_ny, static_cast<std::size_t>(pgrid.npy()),
                            static_cast<std::size_t>(py));
-    storage_.assign((x_range_.size() + 2 * ghost) * (y_range_.size() + 2 * ghost),
-                    T{});
+    allocate();
   }
 
   /// Whole-grid constructor (single process; useful for version-1 code and
@@ -67,8 +76,7 @@ class Grid2D {
         x_range_(x_range),
         y_range_(y_range) {
     assert(x_range.hi <= global_nx && y_range.hi <= global_ny);
-    storage_.assign(
-        (x_range_.size() + 2 * ghost) * (y_range_.size() + 2 * ghost), T{});
+    allocate();
   }
 
   [[nodiscard]] std::size_t global_nx() const noexcept { return global_nx_; }
@@ -79,6 +87,19 @@ class Grid2D {
   /// Global index ranges of the interior owned by this section.
   [[nodiscard]] Range x_range() const noexcept { return x_range_; }
   [[nodiscard]] Range y_range() const noexcept { return y_range_; }
+
+  /// Element distance between consecutive rows (>= ny() + 2*ghost();
+  /// rounded up so every row base is kGridAlignment-aligned).
+  [[nodiscard]] std::size_t row_stride() const noexcept { return row_stride_; }
+
+  /// Base pointer of local row i: row(i)[j] == (*this)(i, j) for
+  /// j in [-ghost, ny()+ghost). Valid for i in [-ghost, nx()+ghost).
+  [[nodiscard]] T* row(std::ptrdiff_t i) noexcept {
+    return storage_.data() + index(i, 0);
+  }
+  [[nodiscard]] const T* row(std::ptrdiff_t i) const noexcept {
+    return storage_.data() + index(i, 0);
+  }
 
   /// Global coordinates of local interior point (i, j).
   [[nodiscard]] std::size_t global_x(std::ptrdiff_t i) const noexcept {
@@ -107,9 +128,9 @@ class Grid2D {
   template <typename F>
   void init_from_global(F&& f) {
     for (std::size_t i = 0; i < nx(); ++i) {
+      T* r = row(static_cast<std::ptrdiff_t>(i));
       for (std::size_t j = 0; j < ny(); ++j) {
-        (*this)(static_cast<std::ptrdiff_t>(i), static_cast<std::ptrdiff_t>(j)) =
-            f(x_range_.lo + i, y_range_.lo + j);
+        r[j] = f(x_range_.lo + i, y_range_.lo + j);
       }
     }
   }
@@ -118,21 +139,21 @@ class Grid2D {
   void copy_interior_from(const Grid2D& other) {
     assert(nx() == other.nx() && ny() == other.ny());
     for (std::size_t i = 0; i < nx(); ++i) {
-      for (std::size_t j = 0; j < ny(); ++j) {
-        (*this)(static_cast<std::ptrdiff_t>(i), static_cast<std::ptrdiff_t>(j)) =
-            other(static_cast<std::ptrdiff_t>(i), static_cast<std::ptrdiff_t>(j));
-      }
+      const T* src = other.row(static_cast<std::ptrdiff_t>(i));
+      std::copy(src, src + ny(), row(static_cast<std::ptrdiff_t>(i)));
     }
   }
 
   /// Pack a rectangular local region (ghost-relative coordinates allowed)
-  /// into a contiguous buffer, row-major.
+  /// into a contiguous buffer, row-major. Copies row segments, so the
+  /// padded row stride never leaks into the wire format.
   [[nodiscard]] std::vector<T> pack_region(std::ptrdiff_t i0, std::ptrdiff_t i1,
                                            std::ptrdiff_t j0, std::ptrdiff_t j1) const {
     std::vector<T> buf;
     buf.reserve(static_cast<std::size_t>((i1 - i0) * (j1 - j0)));
     for (std::ptrdiff_t i = i0; i < i1; ++i) {
-      for (std::ptrdiff_t j = j0; j < j1; ++j) buf.push_back((*this)(i, j));
+      const T* r = row(i);
+      buf.insert(buf.end(), r + j0, r + j1);
     }
     return buf;
   }
@@ -143,9 +164,10 @@ class Grid2D {
   void unpack_region(std::ptrdiff_t i0, std::ptrdiff_t i1, std::ptrdiff_t j0,
                      std::ptrdiff_t j1, std::span<const T> buf) {
     assert(buf.size() == static_cast<std::size_t>((i1 - i0) * (j1 - j0)));
+    const auto w = static_cast<std::size_t>(j1 - j0);
     std::size_t k = 0;
-    for (std::ptrdiff_t i = i0; i < i1; ++i) {
-      for (std::ptrdiff_t j = j0; j < j1; ++j) (*this)(i, j) = buf[k++];
+    for (std::ptrdiff_t i = i0; i < i1; ++i, k += w) {
+      std::copy(buf.data() + k, buf.data() + k + w, row(i) + j0);
     }
   }
   void unpack_region(std::ptrdiff_t i0, std::ptrdiff_t i1, std::ptrdiff_t j0,
@@ -157,29 +179,33 @@ class Grid2D {
   [[nodiscard]] Array2D<T> interior() const {
     Array2D<T> out(nx(), ny());
     for (std::size_t i = 0; i < nx(); ++i) {
-      for (std::size_t j = 0; j < ny(); ++j) {
-        out(i, j) =
-            (*this)(static_cast<std::ptrdiff_t>(i), static_cast<std::ptrdiff_t>(j));
-      }
+      const T* r = row(static_cast<std::ptrdiff_t>(i));
+      for (std::size_t j = 0; j < ny(); ++j) out(i, j) = r[j];
     }
     return out;
   }
 
  private:
+  void allocate() {
+    row_stride_ = padded_stride<T>(y_range_.size() + 2 * ghost_);
+    storage_.assign((x_range_.size() + 2 * ghost_) * row_stride_, T{});
+  }
+
   [[nodiscard]] std::size_t index(std::ptrdiff_t i, std::ptrdiff_t j) const noexcept {
     const auto g = static_cast<std::ptrdiff_t>(ghost_);
     assert(i >= -g && i < static_cast<std::ptrdiff_t>(nx()) + g);
-    assert(j >= -g && j < static_cast<std::ptrdiff_t>(ny()) + g);
-    const auto stride = static_cast<std::ptrdiff_t>(y_range_.size() + 2 * ghost_);
+    assert(j >= -g && j <= static_cast<std::ptrdiff_t>(ny()) + g);
+    const auto stride = static_cast<std::ptrdiff_t>(row_stride_);
     return static_cast<std::size_t>((i + g) * stride + (j + g));
   }
 
   std::size_t global_nx_ = 0;
   std::size_t global_ny_ = 0;
   std::size_t ghost_ = 0;
+  std::size_t row_stride_ = 0;
   Range x_range_;
   Range y_range_;
-  std::vector<T> storage_;
+  std::vector<T, AlignedAllocator<T>> storage_;
 };
 
 }  // namespace ppa::mesh

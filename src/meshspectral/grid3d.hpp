@@ -6,17 +6,25 @@
 // Ghost refresh lives in exchange.hpp (blocking) and plan.hpp (persistent
 // split-phase plans).
 //
+// Storage layout: the innermost (z) extent is padded so every (i, j) pencil
+// starts on a cache-line boundary (base pointer 64-byte aligned, pencil
+// stride rounded up with ppa::padded_stride). `pencil(i, j)` exposes the
+// pencil base pointer for the kernel layer; padding cells are never read
+// and never packed.
+//
 // Thread-safety and ownership: a Grid3D is owned by exactly one rank
 // (thread); the container itself performs no synchronization and no
 // communication. Accessors never block.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <span>
 #include <vector>
 
 #include "mpl/topology.hpp"
+#include "support/aligned.hpp"
 #include "support/ndarray.hpp"
 #include "support/partition.hpp"
 
@@ -37,8 +45,9 @@ class Grid3D {
                             static_cast<std::size_t>(c[1]));
     range_[2] = block_range(gnz, static_cast<std::size_t>(pgrid.npz()),
                             static_cast<std::size_t>(c[2]));
-    storage_.assign((range_[0].size() + 2 * ghost) * (range_[1].size() + 2 * ghost) *
-                        (range_[2].size() + 2 * ghost),
+    pencil_stride_ = padded_stride<T>(range_[2].size() + 2 * ghost);
+    storage_.assign((range_[0].size() + 2 * ghost) *
+                        (range_[1].size() + 2 * ghost) * pencil_stride_,
                     T{});
   }
 
@@ -55,6 +64,21 @@ class Grid3D {
   [[nodiscard]] std::size_t ghost() const noexcept { return ghost_; }
   [[nodiscard]] Range range(int axis) const noexcept {
     return range_[static_cast<std::size_t>(axis)];
+  }
+
+  /// Element distance between consecutive (i, j) pencils along z
+  /// (>= nz() + 2*ghost(); rounded so every pencil base is aligned).
+  [[nodiscard]] std::size_t pencil_stride() const noexcept {
+    return pencil_stride_;
+  }
+
+  /// Base pointer of the z-pencil at (i, j): pencil(i, j)[k] ==
+  /// (*this)(i, j, k) for k in [-ghost, nz()+ghost).
+  [[nodiscard]] T* pencil(std::ptrdiff_t i, std::ptrdiff_t j) noexcept {
+    return storage_.data() + index(i, j, 0);
+  }
+  [[nodiscard]] const T* pencil(std::ptrdiff_t i, std::ptrdiff_t j) const noexcept {
+    return storage_.data() + index(i, j, 0);
   }
 
   [[nodiscard]] std::size_t global_x(std::ptrdiff_t i) const noexcept {
@@ -80,32 +104,39 @@ class Grid3D {
   template <typename F>
   void init_from_global(F&& f) {
     for (std::size_t i = 0; i < nx(); ++i)
-      for (std::size_t j = 0; j < ny(); ++j)
+      for (std::size_t j = 0; j < ny(); ++j) {
+        T* p = pencil(static_cast<std::ptrdiff_t>(i),
+                      static_cast<std::ptrdiff_t>(j));
         for (std::size_t k = 0; k < nz(); ++k)
-          (*this)(static_cast<std::ptrdiff_t>(i), static_cast<std::ptrdiff_t>(j),
-                  static_cast<std::ptrdiff_t>(k)) =
-              f(range_[0].lo + i, range_[1].lo + j, range_[2].lo + k);
+          p[k] = f(range_[0].lo + i, range_[1].lo + j, range_[2].lo + k);
+      }
   }
 
   /// Pack/unpack rectangular regions (ghost-relative coordinates allowed).
+  /// Copies pencil segments, so the padded stride never leaks into the wire
+  /// format.
   [[nodiscard]] std::vector<T> pack_region(std::ptrdiff_t i0, std::ptrdiff_t i1,
                                            std::ptrdiff_t j0, std::ptrdiff_t j1,
                                            std::ptrdiff_t k0, std::ptrdiff_t k1) const {
     std::vector<T> buf;
     buf.reserve(static_cast<std::size_t>((i1 - i0) * (j1 - j0) * (k1 - k0)));
     for (std::ptrdiff_t i = i0; i < i1; ++i)
-      for (std::ptrdiff_t j = j0; j < j1; ++j)
-        for (std::ptrdiff_t k = k0; k < k1; ++k) buf.push_back((*this)(i, j, k));
+      for (std::ptrdiff_t j = j0; j < j1; ++j) {
+        const T* p = pencil(i, j);
+        buf.insert(buf.end(), p + k0, p + k1);
+      }
     return buf;
   }
   void unpack_region(std::ptrdiff_t i0, std::ptrdiff_t i1, std::ptrdiff_t j0,
                      std::ptrdiff_t j1, std::ptrdiff_t k0, std::ptrdiff_t k1,
                      std::span<const T> buf) {
     assert(buf.size() == static_cast<std::size_t>((i1 - i0) * (j1 - j0) * (k1 - k0)));
+    const auto w = static_cast<std::size_t>(k1 - k0);
     std::size_t n = 0;
     for (std::ptrdiff_t i = i0; i < i1; ++i)
-      for (std::ptrdiff_t j = j0; j < j1; ++j)
-        for (std::ptrdiff_t k = k0; k < k1; ++k) (*this)(i, j, k) = buf[n++];
+      for (std::ptrdiff_t j = j0; j < j1; ++j, n += w) {
+        std::copy(buf.data() + n, buf.data() + n + w, pencil(i, j) + k0);
+      }
   }
   void unpack_region(std::ptrdiff_t i0, std::ptrdiff_t i1, std::ptrdiff_t j0,
                      std::ptrdiff_t j1, std::ptrdiff_t k0, std::ptrdiff_t k1,
@@ -118,12 +149,12 @@ class Grid3D {
   Acc fold_interior(Acc init, F&& combine) const {
     Acc acc = std::move(init);
     for (std::size_t i = 0; i < nx(); ++i)
-      for (std::size_t j = 0; j < ny(); ++j)
+      for (std::size_t j = 0; j < ny(); ++j) {
+        const T* p = pencil(static_cast<std::ptrdiff_t>(i),
+                            static_cast<std::ptrdiff_t>(j));
         for (std::size_t k = 0; k < nz(); ++k)
-          acc = combine(std::move(acc),
-                        (*this)(static_cast<std::ptrdiff_t>(i),
-                                static_cast<std::ptrdiff_t>(j),
-                                static_cast<std::ptrdiff_t>(k)));
+          acc = combine(std::move(acc), p[k]);
+      }
     return acc;
   }
 
@@ -133,16 +164,17 @@ class Grid3D {
     const auto g = static_cast<std::ptrdiff_t>(ghost_);
     assert(i >= -g && i < static_cast<std::ptrdiff_t>(nx()) + g);
     assert(j >= -g && j < static_cast<std::ptrdiff_t>(ny()) + g);
-    assert(k >= -g && k < static_cast<std::ptrdiff_t>(nz()) + g);
+    assert(k >= -g && k <= static_cast<std::ptrdiff_t>(nz()) + g);
     const auto sy = static_cast<std::ptrdiff_t>(range_[1].size()) + 2 * g;
-    const auto sz = static_cast<std::ptrdiff_t>(range_[2].size()) + 2 * g;
+    const auto sz = static_cast<std::ptrdiff_t>(pencil_stride_);
     return static_cast<std::size_t>(((i + g) * sy + (j + g)) * sz + (k + g));
   }
 
   std::size_t global_[3] = {0, 0, 0};
   std::size_t ghost_ = 0;
+  std::size_t pencil_stride_ = 0;
   Range range_[3];
-  std::vector<T> storage_;
+  std::vector<T, AlignedAllocator<T>> storage_;
 };
 
 }  // namespace ppa::mesh

@@ -32,6 +32,7 @@
 
 #include "meshspectral/grid2d.hpp"
 #include "meshspectral/grid3d.hpp"
+#include "meshspectral/kernels.hpp"
 #include "meshspectral/plan.hpp"
 #include "mpl/process.hpp"
 
@@ -172,12 +173,20 @@ void apply_pointwise(Grid2D<U>& out, const Grid2D<T>& in, F&& f) {
 
 /// Stencil grid operation: out(i,j) = f(in, i, j) where f may read neighbor
 /// points of `in` within the ghost width. Per the archetype's restriction,
-/// `out` must be distinct from `in` (checked by address).
+/// `out` must be distinct from `in` (checked by address). The output row
+/// base is hoisted out of the inner loop (one strided index computation per
+/// row, not per point); f stays per-point, so this is the generic fallback —
+/// fully restructured sweeps live in kernels.hpp.
 template <typename T, typename U, typename F>
 void apply_stencil(Grid2D<U>& out, const Grid2D<T>& in, F&& f) {
   assert(static_cast<const void*>(&out) != static_cast<const void*>(&in) &&
          "stencil operations require disjoint input and output grids");
-  for_interior(in, [&](std::ptrdiff_t i, std::ptrdiff_t j) { out(i, j) = f(in, i, j); });
+  const auto nx = static_cast<std::ptrdiff_t>(in.nx());
+  const auto ny = static_cast<std::ptrdiff_t>(in.ny());
+  for (std::ptrdiff_t i = 0; i < nx; ++i) {
+    U* PPA_RESTRICT orow = out.row(i);
+    for (std::ptrdiff_t j = 0; j < ny; ++j) orow[j] = f(in, i, j);
+  }
 }
 
 /// Stencil grid operation with the halo exchange overlapped: begin the
@@ -197,9 +206,17 @@ void apply_stencil_overlapped(mpl::Process& p, ExchangePlan2D& plan,
   plan.begin_exchange(p, in);
   const Region2 all = interior_region(in);
   const Region2 core = core_region(in, width, all);
-  for_region(core, [&](std::ptrdiff_t i, std::ptrdiff_t j) { out(i, j) = f(in, i, j); });
+  kern::sweep_rows(core, [&](std::ptrdiff_t i, std::ptrdiff_t j0,
+                             std::ptrdiff_t j1) {
+    U* PPA_RESTRICT orow = out.row(i);
+    for (std::ptrdiff_t j = j0; j < j1; ++j) orow[j] = f(in, i, j);
+  });
   plan.end_exchange(p, in);
-  for_rim(all, core, [&](std::ptrdiff_t i, std::ptrdiff_t j) { out(i, j) = f(in, i, j); });
+  kern::sweep_rim_rows(all, core, [&](std::ptrdiff_t i, std::ptrdiff_t j0,
+                                      std::ptrdiff_t j1) {
+    U* PPA_RESTRICT orow = out.row(i);
+    for (std::ptrdiff_t j = j0; j < j1; ++j) orow[j] = f(in, i, j);
+  });
 }
 
 // ------------------------------------------------------------- reductions --

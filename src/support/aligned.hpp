@@ -1,0 +1,83 @@
+// ppa/support/aligned.hpp
+//
+// Cache-line-aligned storage for the grid containers and SoA field planes.
+//
+//   * AlignedAllocator<T, A> — a std::vector-compatible allocator returning
+//     A-byte-aligned blocks (A >= alignof(T), A a power of two);
+//   * kGridAlignment        — the alignment every grid/field row-storage
+//     base pointer is guaranteed to have (one cache line / one AVX-512
+//     vector = 64 bytes);
+//   * padded_stride<T>(n)   — n rounded up so that n * sizeof(T) is a
+//     multiple of kGridAlignment. With a kGridAlignment-aligned base and a
+//     padded stride, *every* row of a 2-D (or every pencil of a 3-D) grid
+//     starts on a cache-line boundary, which is what lets the compiler emit
+//     aligned vector loads for unit-stride inner loops.
+//
+// Padding is storage-only: padded elements are value-initialized, never
+// read, never packed, and never cross the wire, so enabling it cannot
+// change any computed result.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <numeric>
+
+namespace ppa {
+
+/// Alignment (bytes) of grid/field storage; also the row-stride rounding
+/// target. One x86 cache line, and the widest common SIMD vector.
+inline constexpr std::size_t kGridAlignment = 64;
+
+/// Smallest m >= n such that m * sizeof(T) is a multiple of kGridAlignment
+/// (rows then all start cache-line-aligned when the base is). For element
+/// sizes that already divide the alignment this rounds to 64 / sizeof(T)
+/// elements; for awkward sizes the quantum is 64 / gcd(64, sizeof(T)).
+template <typename T>
+[[nodiscard]] constexpr std::size_t padded_stride(std::size_t n) noexcept {
+  constexpr std::size_t q =
+      kGridAlignment / std::gcd(kGridAlignment, sizeof(T));
+  return (n + q - 1) / q * q;
+}
+
+/// Minimal allocator handing out `Alignment`-byte-aligned blocks; drop-in
+/// for std::vector (stateless, always equal).
+template <typename T, std::size_t Alignment = kGridAlignment>
+class AlignedAllocator {
+ public:
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "Alignment must not be weaker than the type's own");
+
+  using value_type = T;
+  using size_type = std::size_t;
+  using difference_type = std::ptrdiff_t;
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Alignment});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U, Alignment>&) const noexcept {
+    return false;
+  }
+};
+
+}  // namespace ppa

@@ -1,0 +1,352 @@
+// Tests for the layout-aware kernel layer (meshspectral/field.hpp,
+// meshspectral/kernels.hpp) and the padded grid storage underneath it:
+//
+//   * layout: padded row/pencil strides, 64-byte row alignment, view/grid
+//     aliasing, SoA<->AoS round trips;
+//   * halo correctness on padded storage: pack/unpack round trips and a
+//     ghost-width-2 exchange regression (the padded stride must never leak
+//     into the wire format);
+//   * the bitwise-equality battery: for poisson, euler2d, and fdtd3d, the
+//     kernel sweeps must reproduce the legacy per-point sweeps exactly —
+//     at np in {1, 2, 4, 8}, with odd extents, and on block-set drivers
+//     with non-divisible block shapes.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <utility>
+
+#include "apps/cfd/euler2d.hpp"
+#include "apps/em/fdtd3d.hpp"
+#include "apps/poisson/poisson.hpp"
+#include "meshspectral/meshspectral.hpp"
+#include "mpl/spmd.hpp"
+
+namespace {
+
+using namespace ppa;
+
+bool is_aligned(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % kGridAlignment == 0;
+}
+
+// ------------------------------------------------------------- layout --
+
+TEST(KernelLayout, PaddedStrideRoundsToCacheLine) {
+  EXPECT_EQ(padded_stride<double>(1), 8u);
+  EXPECT_EQ(padded_stride<double>(8), 8u);
+  EXPECT_EQ(padded_stride<double>(9), 16u);
+  EXPECT_EQ(padded_stride<float>(17), 32u);
+  // 24-byte elements: quantum is 64/gcd(64,24) = 8 elements.
+  struct S24 { double a, b, c; };
+  EXPECT_EQ(padded_stride<S24>(5), 8u);
+  EXPECT_EQ(padded_stride<S24>(5) * sizeof(S24) % kGridAlignment, 0u);
+}
+
+TEST(KernelLayout, Grid2DRowsAreAlignedAndPadded) {
+  // Odd ny and ghost 2: the nominal row width (53 + 4 = 57) is not a
+  // multiple of 8 doubles, so padding must kick in.
+  mesh::Grid2D<double> g(67, 53, 2);
+  EXPECT_GE(g.row_stride(), g.ny() + 2 * g.ghost());
+  EXPECT_EQ(g.row_stride() * sizeof(double) % kGridAlignment, 0u);
+  for (std::ptrdiff_t i = -2; i < static_cast<std::ptrdiff_t>(g.nx()) + 2; ++i) {
+    EXPECT_TRUE(is_aligned(g.row(i) - g.ghost())) << "row " << i;
+  }
+  // row(i)[j] and operator() address the same element.
+  g.init_from_global([](std::size_t gi, std::size_t gj) {
+    return static_cast<double>(gi * 1000 + gj);
+  });
+  for (std::size_t i = 0; i < g.nx(); ++i) {
+    for (std::size_t j = 0; j < g.ny(); ++j) {
+      EXPECT_EQ(&g.row(static_cast<std::ptrdiff_t>(i))[j],
+                &g(static_cast<std::ptrdiff_t>(i), static_cast<std::ptrdiff_t>(j)));
+    }
+  }
+}
+
+TEST(KernelLayout, Grid3DPencilsAreAlignedAndPadded) {
+  mesh::Grid3D<double> g(9, 7, 11, 1);
+  EXPECT_GE(g.pencil_stride(), g.nz() + 2 * g.ghost());
+  EXPECT_EQ(g.pencil_stride() * sizeof(double) % kGridAlignment, 0u);
+  for (std::ptrdiff_t i = -1; i <= static_cast<std::ptrdiff_t>(g.nx()); ++i) {
+    for (std::ptrdiff_t j = -1; j <= static_cast<std::ptrdiff_t>(g.ny()); ++j) {
+      EXPECT_TRUE(is_aligned(g.pencil(i, j) - g.ghost()));
+    }
+  }
+  g.init_from_global([](std::size_t a, std::size_t b, std::size_t c) {
+    return static_cast<double>(a * 10000 + b * 100 + c);
+  });
+  for (std::size_t i = 0; i < g.nx(); ++i)
+    for (std::size_t j = 0; j < g.ny(); ++j)
+      for (std::size_t k = 0; k < g.nz(); ++k)
+        EXPECT_EQ(&g.pencil(static_cast<std::ptrdiff_t>(i),
+                            static_cast<std::ptrdiff_t>(j))[k],
+                  &g(static_cast<std::ptrdiff_t>(i), static_cast<std::ptrdiff_t>(j),
+                     static_cast<std::ptrdiff_t>(k)));
+}
+
+TEST(KernelLayout, FieldViewAliasesGridStorage) {
+  mesh::Grid2D<double> g(12, 10, 1);
+  auto v = mesh::field_view(g);
+  EXPECT_EQ(v.stride, g.row_stride());
+  v(3, 4) = 42.0;
+  EXPECT_EQ(g(3, 4), 42.0);
+  g(-1, -1) = 7.0;
+  EXPECT_EQ(v(-1, -1), 7.0);
+  const auto cv = mesh::field_view(std::as_const(g));
+  EXPECT_EQ(cv(3, 4), 42.0);
+}
+
+TEST(KernelLayout, SoAFieldRoundTripsAoS) {
+  constexpr std::size_t kNC = 3;
+  mesh::Grid2D<std::array<double, kNC>> aos(9, 7, 2);
+  // Fill interior AND ghosts with distinct values.
+  for (std::ptrdiff_t i = -2; i < 11; ++i) {
+    for (std::ptrdiff_t j = -2; j < 9; ++j) {
+      for (std::size_t c = 0; c < kNC; ++c) {
+        aos(i, j)[c] = static_cast<double>((i + 3) * 1000 + (j + 3) * 10 + c);
+      }
+    }
+  }
+  mesh::SoAField2D<double> soa(aos.nx(), aos.ny(), aos.ghost(), kNC);
+  soa.from_aos(aos);
+  for (std::size_t c = 0; c < kNC; ++c) {
+    auto v = soa.component(c);
+    EXPECT_TRUE(is_aligned(v.row(-2) - 2)) << "component " << c;
+    EXPECT_EQ(v(0, 0), aos(0, 0)[c]);
+    EXPECT_EQ(v(-2, -2), aos(-2, -2)[c]);
+    EXPECT_EQ(v(8, 6), aos(8, 6)[c]);
+  }
+  mesh::Grid2D<std::array<double, kNC>> back(9, 7, 2);
+  soa.to_aos(back);
+  for (std::ptrdiff_t i = -2; i < 11; ++i)
+    for (std::ptrdiff_t j = -2; j < 9; ++j) EXPECT_EQ(back(i, j), aos(i, j));
+}
+
+// -------------------------------------------- halo paths on padded rows --
+
+TEST(KernelPadding, PackUnpackRoundTripWithGhost2) {
+  mesh::Grid2D<double> src(13, 11, 2), dst(13, 11, 2);
+  src.init_from_global([](std::size_t gi, std::size_t gj) {
+    return static_cast<double>(gi) * 97.0 + static_cast<double>(gj) * 1.5;
+  });
+  // Regions deliberately spanning ghost coordinates and odd widths.
+  const struct { std::ptrdiff_t i0, i1, j0, j1; } regions[] = {
+      {0, 13, 0, 11},    // whole interior
+      {-2, 2, -2, 11},   // low-edge strip incl. ghosts
+      {11, 13, 9, 13},   // high corner incl. ghosts
+      {3, 4, -2, 13},    // single full row
+  };
+  for (const auto& r : regions) {
+    // Make ghost source values distinct too.
+    for (std::ptrdiff_t i = r.i0; i < r.i1; ++i)
+      for (std::ptrdiff_t j = r.j0; j < r.j1; ++j)
+        src(i, j) = static_cast<double>(i * 100 + j);
+    const auto buf = src.pack_region(r.i0, r.i1, r.j0, r.j1);
+    ASSERT_EQ(buf.size(),
+              static_cast<std::size_t>((r.i1 - r.i0) * (r.j1 - r.j0)));
+    dst.unpack_region(r.i0, r.i1, r.j0, r.j1, buf);
+    for (std::ptrdiff_t i = r.i0; i < r.i1; ++i)
+      for (std::ptrdiff_t j = r.j0; j < r.j1; ++j)
+        EXPECT_EQ(dst(i, j), src(i, j)) << i << "," << j;
+  }
+}
+
+TEST(KernelPadding, Grid3DPackUnpackRoundTrip) {
+  mesh::Grid3D<double> src(6, 5, 7, 1), dst(6, 5, 7, 1);
+  src.init_from_global([](std::size_t a, std::size_t b, std::size_t c) {
+    return static_cast<double>(a * 100 + b * 10 + c);
+  });
+  const auto buf = src.pack_region(-1, 6, 0, 5, -1, 8);
+  ASSERT_EQ(buf.size(), 7u * 5u * 9u);
+  dst.unpack_region(-1, 6, 0, 5, -1, 8, buf);
+  for (std::ptrdiff_t i = -1; i < 6; ++i)
+    for (std::ptrdiff_t j = 0; j < 5; ++j)
+      for (std::ptrdiff_t k = -1; k < 8; ++k)
+        EXPECT_EQ(dst(i, j, k), src(i, j, k));
+}
+
+TEST(KernelPadding, ExchangeGhost2OnPaddedRows) {
+  // Regression: with padded rows and ghost width 2, a full plan exchange
+  // must land every ghost cell on the value the owning rank holds — i.e.
+  // the padded stride stays out of the wire format. Odd global extents so
+  // sections have different row strides/padding amounts.
+  constexpr int kP = 4;
+  const auto pgrid = mpl::CartGrid2D::near_square(kP);
+  const auto f = [](std::size_t gi, std::size_t gj) {
+    return static_cast<double>(gi) * 131.0 + static_cast<double>(gj) * 0.25;
+  };
+  mpl::spmd_run(kP, [&](mpl::Process& p) {
+    mesh::Grid2D<double> g(21, 17, pgrid, p.rank(), 2);
+    g.init_from_global(f);
+    mesh::ExchangePlan2D plan(pgrid, p.rank(), g,
+                              mesh::ExchangePlan2D::Options{{}, true, 0});
+    plan.begin_exchange(p, g);
+    plan.end_exchange(p, g);
+    const auto gd = static_cast<std::ptrdiff_t>(g.ghost());
+    for (std::ptrdiff_t i = -gd; i < static_cast<std::ptrdiff_t>(g.nx()) + gd; ++i) {
+      for (std::ptrdiff_t j = -gd; j < static_cast<std::ptrdiff_t>(g.ny()) + gd; ++j) {
+        const auto gi = static_cast<std::ptrdiff_t>(g.x_range().lo) + i;
+        const auto gj = static_cast<std::ptrdiff_t>(g.y_range().lo) + j;
+        const bool inside = gi >= 0 && gi < 21 && gj >= 0 && gj < 17;
+        if (!inside) continue;  // off-domain ghosts stay untouched
+        EXPECT_EQ(g(i, j), f(static_cast<std::size_t>(gi),
+                             static_cast<std::size_t>(gj)))
+            << "rank " << p.rank() << " at (" << i << "," << j << ")";
+      }
+    }
+  });
+}
+
+// ------------------------------------------------ jacobi kernel parity --
+
+TEST(KernelSweeps, TiledJacobiMatchesNaiveAndLegacyBitwise) {
+  // Odd extents and a tiny tile force ragged tiles; all three sweeps must
+  // agree bitwise because each output element sees the same expression.
+  mesh::Grid2D<double> in(37, 29, 1), f(37, 29, 1);
+  mesh::Grid2D<double> out_legacy(37, 29, 1), out_rows(37, 29, 1),
+      out_tiled(37, 29, 1);
+  in.init_from_global([](std::size_t gi, std::size_t gj) {
+    return std::sin(static_cast<double>(gi) * 0.7) +
+           std::cos(static_cast<double>(gj) * 1.3);
+  });
+  f.init_from_global([](std::size_t gi, std::size_t gj) {
+    return static_cast<double>(gi + gj) * 0.01;
+  });
+  const double h2 = 0.015625;
+  const mesh::Region2 r{1, 36, 1, 28};
+
+  mesh::for_region(r, [&](std::ptrdiff_t i, std::ptrdiff_t j) {
+    out_legacy(i, j) =
+        (in(i - 1, j) + in(i + 1, j) + in(i, j - 1) + in(i, j + 1) -
+         h2 * f(i, j)) *
+        0.25;
+  });
+  const auto iv = mesh::field_view(std::as_const(in));
+  const auto fv = mesh::field_view(std::as_const(f));
+  mesh::kern::jacobi_sweep(mesh::field_view(out_rows), iv, fv, h2, r);
+  mesh::kern::jacobi_sweep_tiled(mesh::field_view(out_tiled), iv, fv, h2, r,
+                                 /*tile_j=*/7);
+
+  for (std::ptrdiff_t i = r.i0; i < r.i1; ++i) {
+    for (std::ptrdiff_t j = r.j0; j < r.j1; ++j) {
+      EXPECT_EQ(out_rows(i, j), out_legacy(i, j)) << i << "," << j;
+      EXPECT_EQ(out_tiled(i, j), out_legacy(i, j)) << i << "," << j;
+    }
+  }
+}
+
+// ------------------------------------- app batteries: kernel == legacy --
+
+class KernelsP : public testing::TestWithParam<int> {};
+
+TEST_P(KernelsP, PoissonKernelMatchesLegacyBitwise) {
+  const int np = GetParam();
+  app::PoissonProblem prob;
+  prob.nx = 33;
+  prob.ny = 27;  // odd, != nx: exercises ragged padding per section
+  prob.tolerance = 1e-6;
+  prob.g = [](double x, double y) { return x * x - y * y; };
+
+  prob.sweep = mesh::SweepMode::kLegacy;
+  const auto legacy = app::poisson_spmd(prob, np);
+  prob.sweep = mesh::SweepMode::kKernel;
+  const auto kernel = app::poisson_spmd(prob, np);
+
+  EXPECT_EQ(legacy.iterations, kernel.iterations);
+  EXPECT_EQ(legacy.final_diffmax, kernel.final_diffmax);
+  ASSERT_EQ(legacy.u.rows(), kernel.u.rows());
+  ASSERT_EQ(legacy.u.cols(), kernel.u.cols());
+  for (std::size_t i = 0; i < legacy.u.rows(); ++i)
+    for (std::size_t j = 0; j < legacy.u.cols(); ++j)
+      EXPECT_EQ(legacy.u(i, j), kernel.u(i, j))
+          << "np=" << np << " at (" << i << "," << j << ")";
+}
+
+TEST_P(KernelsP, EulerKernelMatchesLegacyBitwise) {
+  const int np = GetParam();
+  app::CfdConfig cfg;
+  cfg.nx = 48;
+  cfg.ny = 22;
+  cfg.sweep = mesh::SweepMode::kLegacy;
+  const auto legacy = app::run_shock_interface(cfg, 12, np);
+  cfg.sweep = mesh::SweepMode::kKernel;
+  const auto kernel = app::run_shock_interface(cfg, 12, np);
+  ASSERT_EQ(legacy.rows(), kernel.rows());
+  for (std::size_t i = 0; i < legacy.rows(); ++i)
+    for (std::size_t j = 0; j < legacy.cols(); ++j)
+      EXPECT_EQ(legacy(i, j), kernel(i, j))
+          << "np=" << np << " at (" << i << "," << j << ")";
+}
+
+TEST_P(KernelsP, FdtdKernelMatchesLegacyBitwise) {
+  const int np = GetParam();
+  app::EmConfig cfg;
+  cfg.n = 20;
+  cfg.src_i = 5;
+  cfg.src_j = 10;
+  cfg.src_k = 10;
+  cfg.sweep = mesh::SweepMode::kLegacy;
+  const auto legacy = app::run_em_scattering(cfg, 6, np);
+  cfg.sweep = mesh::SweepMode::kKernel;
+  const auto kernel = app::run_em_scattering(cfg, 6, np);
+  ASSERT_EQ(legacy.rows(), kernel.rows());
+  for (std::size_t i = 0; i < legacy.rows(); ++i)
+    for (std::size_t j = 0; j < legacy.cols(); ++j)
+      EXPECT_EQ(legacy(i, j), kernel(i, j))
+          << "np=" << np << " at (" << i << "," << j << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(NP, KernelsP, testing::Values(1, 2, 4, 8));
+
+TEST(KernelBlocks, PoissonBlockDriverKernelMatchesLegacyBitwise) {
+  // Non-divisible block shapes (3x2 blocks of a 31x23 grid on 2 ranks,
+  // round-robin owners) through the same kernels.
+  app::PoissonProblem prob;
+  prob.nx = 31;
+  prob.ny = 23;
+  prob.tolerance = 1e-5;
+  prob.g = [](double x, double y) { return x + 2.0 * y; };
+  app::PoissonBlockConfig config;
+  config.nbx = 3;
+  config.nby = 2;
+  config.owner = {0, 1, 1, 0, 1, 0};
+
+  prob.sweep = mesh::SweepMode::kLegacy;
+  const auto legacy = app::poisson_blocks_spmd(prob, 2, config);
+  prob.sweep = mesh::SweepMode::kKernel;
+  const auto kernel = app::poisson_blocks_spmd(prob, 2, config);
+  const auto single = app::poisson_spmd(prob, 2);
+
+  EXPECT_EQ(legacy.iterations, kernel.iterations);
+  EXPECT_EQ(single.iterations, kernel.iterations);
+  for (std::size_t i = 0; i < legacy.u.rows(); ++i)
+    for (std::size_t j = 0; j < legacy.u.cols(); ++j) {
+      EXPECT_EQ(legacy.u(i, j), kernel.u(i, j)) << i << "," << j;
+      EXPECT_EQ(single.u(i, j), kernel.u(i, j)) << i << "," << j;
+    }
+}
+
+TEST(KernelBlocks, EulerBlockDriverKernelMatchesLegacyBitwise) {
+  app::CfdConfig cfg;
+  cfg.nx = 40;
+  cfg.ny = 18;
+  app::CfdBlockConfig config;
+  config.nbx = 2;
+  config.nby = 3;
+  config.owner = {0, 1, 0, 1, 0, 1};
+
+  cfg.sweep = mesh::SweepMode::kLegacy;
+  const auto legacy = app::run_shock_interface_blocks(cfg, 8, 2, config);
+  cfg.sweep = mesh::SweepMode::kKernel;
+  const auto kernel = app::run_shock_interface_blocks(cfg, 8, 2, config);
+  const auto single = app::run_shock_interface(cfg, 8, 2);
+
+  for (std::size_t i = 0; i < legacy.rows(); ++i)
+    for (std::size_t j = 0; j < legacy.cols(); ++j) {
+      EXPECT_EQ(legacy(i, j), kernel(i, j)) << i << "," << j;
+      EXPECT_EQ(single(i, j), kernel(i, j)) << i << "," << j;
+    }
+}
+
+}  // namespace
